@@ -1,0 +1,32 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one artifact of the paper (a table or a
+figure's data series), prints it, and also writes it to
+``benchmarks/results/<name>.txt`` so the evidence survives pytest's
+output capture.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the tables inline.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print an artifact and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,67 @@
+"""E9 (ablation) -- prefix schedule choice inside 2-sort(B).
+
+The paper's design choice is the size-optimal Ladner-Fischer schedule
+(its Fig. 4).  This ablation swaps the prefix network for the serial
+(ASYNC'16-style ripple) and Sklansky (minimum-depth) schedules and
+measures the cost/delay landscape -- quantifying both what PPC buys
+over bit-serial evaluation and what the LF compromise saves over
+depth-optimal prefixes.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.circuits.analysis import report
+from repro.core.two_sort import build_two_sort
+
+SCHEDULES = ("serial", "ladner_fischer", "sklansky")
+WIDTHS = (4, 8, 16, 32)
+
+
+def _sweep():
+    return {
+        (schedule, width): report(build_two_sort(width, schedule=schedule))
+        for schedule in SCHEDULES
+        for width in WIDTHS
+    }
+
+
+def test_schedule_ablation(benchmark, emit):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for width in WIDTHS:
+        for schedule in SCHEDULES:
+            r = data[(schedule, width)]
+            rows.append(
+                [f"B={width}", schedule, r.gate_count, r.depth,
+                 f"{r.area_um2:.1f}", f"{r.delay_ps:.0f}"]
+            )
+    emit(
+        "ablation_ppc",
+        render_table(
+            ["B", "schedule", "#gates", "depth", "area[µm²]", "delay[ps]"],
+            rows,
+            title="Ablation -- prefix schedule inside 2-sort(B)",
+        ),
+    )
+
+    for width in WIDTHS:
+        serial = data[("serial", width)]
+        lf = data[("ladner_fischer", width)]
+        sklansky = data[("sklansky", width)]
+        # PPC's raison d'être: delay win over bit-serial.  (At B = 4 the
+        # LF recursion over 3 items degenerates to the serial chain --
+        # same 2 ops -- so equality is expected there.)
+        if width > 4:
+            assert lf.delay_ps < serial.delay_ps
+        else:
+            assert lf.delay_ps <= serial.delay_ps
+        # LF vs Sklansky: LF never larger; Sklansky never deeper.
+        assert lf.gate_count <= sklansky.gate_count
+        assert sklansky.depth <= lf.depth
+    # The serial-vs-LF delay gap widens with B (linear vs logarithmic).
+    gaps = [
+        data[("serial", w)].delay_ps - data[("ladner_fischer", w)].delay_ps
+        for w in WIDTHS
+    ]
+    assert gaps == sorted(gaps)

@@ -1,0 +1,57 @@
+"""E8 -- Equation 3: PPC cost/delay formulas vs generated circuits.
+
+The paper quotes (from [5]) ``delay(PPC(n)) = (2 log2 n - 1) delay(OP)``
+and ``cost(PPC(n)) = (2n - log2 n - 2) cost(OP)`` for powers of two.
+This bench builds the actual prefix networks and compares: cost matches
+the formula exactly; measured depth is bounded by the formula (the
+Fig. 4 recursion beats the bound by one OP level at n >= 4, which the
+output makes visible).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.circuits.analysis import logic_depth
+from repro.circuits.builder import or2
+from repro.circuits.netlist import Circuit
+from repro.ppc.circuit import build_ppc
+from repro.ppc.prefix import eq3_cost_pow2, eq3_delay_pow2, lf_depth, lf_op_count
+
+
+def _or_ppc(n):
+    c = Circuit(f"ppc{n}")
+    items = [(c.add_input(f"i{k}"),) for k in range(n)]
+    outs = build_ppc(c, items, lambda cc, a, b: (or2(cc, a[0], b[0]),))
+    c.add_outputs(net for (net,) in outs)
+    return c
+
+
+def test_eq3(benchmark, emit):
+    sizes = (2, 4, 8, 16, 32, 64, 128)
+    circuits = benchmark.pedantic(
+        lambda: {n: _or_ppc(n) for n in sizes}, rounds=1, iterations=1
+    )
+    rows = []
+    for n in sizes:
+        c = circuits[n]
+        rows.append(
+            [
+                n,
+                c.gate_count(), eq3_cost_pow2(n),
+                lf_depth(n), eq3_delay_pow2(n),
+            ]
+        )
+    emit(
+        "eq3_ppc",
+        render_table(
+            ["n", "ops built", "Eq.3 cost", "op depth", "Eq.3 delay bound"],
+            rows,
+            title="Equation 3 -- Ladner-Fischer PPC cost and depth",
+        ),
+    )
+    for n in sizes:
+        assert circuits[n].gate_count() == eq3_cost_pow2(n) == lf_op_count(n)
+        assert lf_depth(n) <= eq3_delay_pow2(n)
+        assert logic_depth(circuits[n]) == lf_depth(n)

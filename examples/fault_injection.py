@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Fault injection: where does a metastable bit go?
+
+For every input bit position of a 2-sort(B), inject ``M`` into an
+otherwise-stable measurement pair and trace how far the uncertainty
+spreads through each design:
+
+* the paper's MC 2-sort keeps the output *exactly* as uncertain as the
+  input semantics demand (the metastable closure -- provably minimal),
+* the binary comparator lets a single M fan out across both output
+  words.
+
+This is the library-level analogue of the glitch analysis a designer
+would run in a simulator before trusting a circuit near a clock-domain
+boundary.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import Word, build_two_sort, evaluate_words
+from repro.baselines.bincomp import build_bincomp_two_sort
+from repro.circuits.evaluate import evaluate_all_resolutions
+from repro.graycode import gray_encode, is_valid
+from repro.analysis.tables import render_table
+
+WIDTH = 6
+
+
+def meta_bits(word: Word) -> int:
+    return word.metastable_count
+
+
+def inject(base: Word, position: int) -> Word:
+    return base.replace_bit(position, "M")
+
+
+def main() -> None:
+    mc = build_two_sort(WIDTH)
+    binary = build_bincomp_two_sort(WIDTH)
+
+    # Neighbouring measurements -- the interesting (racing) case.
+    g_val, h_val = 23, 24
+    g0 = gray_encode(g_val, WIDTH)
+    h0 = gray_encode(h_val, WIDTH)
+    print(f"baseline: g = {g0} ({g_val}),  h = {h0} ({h_val})\n")
+
+    rows = []
+    for pos in range(1, WIDTH + 1):
+        g = inject(g0, pos)
+
+        mc_out = evaluate_words(mc, g, h0)
+        mc_spread = meta_bits(mc_out)
+        mc_valid = is_valid(mc_out[:WIDTH]) and is_valid(mc_out[WIDTH:])
+
+        bin_out = evaluate_words(binary, g, h0)
+        bin_spread = meta_bits(bin_out)
+        bin_valid = is_valid(bin_out[:WIDTH]) and is_valid(bin_out[WIDTH:])
+
+        # The information-theoretic floor: closure of the Boolean function.
+        ideal = evaluate_all_resolutions(mc, g, h0)
+        floor = meta_bits(ideal)
+
+        note = "valid input" if is_valid(g) else "INVALID input"
+        rows.append(
+            [
+                f"g bit {pos}", note,
+                f"{mc_spread} ({'ok' if mc_valid else 'invalid'})",
+                f"{bin_spread} ({'ok' if bin_valid else 'invalid'})",
+                floor,
+            ]
+        )
+
+    print(render_table(
+        ["injection", "input class",
+         "MC out M-bits", "Bin-comp out M-bits", "closure floor"],
+        rows,
+        title=f"M-bit spread after one injected fault (B={WIDTH}, values "
+              f"{g_val} vs {h_val})",
+    ))
+
+    print(
+        "\nReading the table: on *valid* inputs (the single Gray transition\n"
+        "bit), the MC design stays at the closure floor -- it adds zero\n"
+        "extra uncertainty and its outputs remain valid strings.  The\n"
+        "binary comparator spreads one M across several output bits and\n"
+        "produces non-codewords.  Injections at other positions leave the\n"
+        "valid-string domain (two adjacent codewords never differ there),\n"
+        "so even the MC circuit makes no promise -- yet it often still\n"
+        "tracks the floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

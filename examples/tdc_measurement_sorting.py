@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Sorting time-to-digital-converter readings across clock domains.
+
+The paper's motivating scenario (Section 1-2, citing [7]): several
+channels measure the arrival time of a pulse with TDCs whose Gray-code
+outputs may contain one metastable bit -- the measurement was taken
+*while* the counter was transitioning.  Classic designs would first
+synchronize (spending time and admitting residual failure probability);
+the paper's circuits sort the raw readings immediately, metastability
+and all.
+
+This example simulates a 10-channel measurement round end to end:
+
+  * generate readings around a true event time, some caught in flight,
+  * sort them with the paper's MC network (10-sort#, gate-level),
+  * show that the binary comparator alternative corrupts the same data.
+
+Run:  python examples/tdc_measurement_sorting.py
+"""
+
+import random
+
+from repro import Word, build_sorting_circuit, evaluate_words, SORT10_SIZE
+from repro.baselines.bincomp import build_bincomp_two_sort
+from repro.graycode import gray_decode, is_valid, make_valid, rank, value_interval
+from repro.networks.properties import check_mc_sort
+
+WIDTH = 8
+CHANNELS = 10
+
+
+def take_measurements(rng: random.Random, true_time: int):
+    """Each channel reads true_time + jitter; ~40% are caught mid-tick."""
+    readings = []
+    for _ in range(CHANNELS):
+        value = max(0, min((1 << WIDTH) - 2, true_time + rng.randint(-2, 2)))
+        in_flight = rng.random() < 0.4
+        readings.append(make_valid(value, WIDTH, metastable=in_flight))
+    return readings
+
+
+def describe(word: Word) -> str:
+    lo, hi = value_interval(word)
+    if lo == hi:
+        return f"{word}  = {lo}"
+    return f"{word}  = {lo} or {hi} (in flight)"
+
+
+def main() -> None:
+    rng = random.Random(7)
+    true_time = 113
+    readings = take_measurements(rng, true_time)
+
+    print(f"true event time: {true_time} ticks; raw channel readings:")
+    for ch, r in enumerate(readings):
+        print(f"  ch{ch}: {describe(r)}")
+
+    # ------------------------------------------------------------------
+    # Sort with the paper's network at gate level (29 x 2-sort(8)).
+    # ------------------------------------------------------------------
+    circuit = build_sorting_circuit(SORT10_SIZE, WIDTH, two_sort="this-paper")
+    print(
+        f"\nMC sorting circuit: {circuit.gate_count()} gates "
+        f"({SORT10_SIZE.size} comparators x 169)"
+    )
+    out = evaluate_words(circuit, *readings)
+    ranked = [out[i * WIDTH : (i + 1) * WIDTH] for i in range(CHANNELS)]
+
+    print("sorted (ascending):")
+    for i, r in enumerate(ranked):
+        print(f"  rank {i}: {describe(r)}")
+
+    problems = check_mc_sort(readings, ranked)
+    assert not problems, problems
+    print("containment + order verified: every output is a valid string,")
+    print("ranks ascend, and the rank multiset is preserved.")
+
+    # Median of the measurement round -- a typical downstream use.
+    median = ranked[CHANNELS // 2]
+    lo, hi = value_interval(median)
+    print(f"\nmedian reading: {describe(median)}")
+    assert abs(lo - true_time) <= 2
+
+    # ------------------------------------------------------------------
+    # What the standard binary comparator would have done.
+    # ------------------------------------------------------------------
+    print("\n--- same data through the non-containing Bin-comp ---")
+    bincomp = build_bincomp_two_sort(WIDTH)
+    corrupted = 0
+    for g, h in zip(readings[::2], readings[1::2]):
+        out = evaluate_words(bincomp, g, h)
+        hi_w, lo_w = out[:WIDTH], out[WIDTH:]
+        ok = is_valid(hi_w) and is_valid(lo_w)
+        if not ok:
+            corrupted += 1
+            print(f"  compare({g}, {h}) -> {hi_w}, {lo_w}   CORRUPTED")
+    if corrupted:
+        print(f"{corrupted} of {CHANNELS // 2} comparisons produced garbage --")
+        print("exactly the failure mode metastability containment removes.")
+    else:
+        print("(no pair happened to race this round; rerun with other seeds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+table7              regenerate Table 7 (2-sort costs, measured vs published)
+table8              regenerate Table 8 (sorting-network costs)
+verify --width B    exhaustively verify 2-sort(B) against the closure spec
+export --width B    dump 2-sort(B) as structural Verilog (stdout)
+sort g h [...]      sort valid strings with the paper's circuit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.compare import table7_rows, table8_rows
+from .circuits.export import to_verilog
+from .core.two_sort import build_two_sort
+from .graycode.valid import validate
+from .networks.simulate import sort_words
+from .networks.topologies import best_known
+from .ternary.word import Word
+from .verify.exhaustive import verify_two_sort_circuit
+
+
+def _cmd_table7(_args) -> int:
+    for row in table7_rows():
+        print(row.format())
+    return 0
+
+
+def _cmd_table8(_args) -> int:
+    for row in table8_rows():
+        print(row.format())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    width = args.width
+    if width > 6:
+        print(
+            f"exhaustive verification at B={width} would check "
+            f"{((1 << (width + 1)) - 1) ** 2:,} pairs; use B <= 6",
+            file=sys.stderr,
+        )
+        return 2
+    result = verify_two_sort_circuit(build_two_sort(width), width)
+    print(f"2-sort({width}) vs closure spec: {result.summary()}")
+    for failure in result.failures[:5]:
+        print(f"  {failure}")
+    return 0 if result.ok else 1
+
+
+def _cmd_export(args) -> int:
+    sys.stdout.write(to_verilog(build_two_sort(args.width)))
+    return 0
+
+
+def _cmd_sort(args) -> int:
+    words = [validate(Word(s)) for s in args.values]
+    widths = {len(w) for w in words}
+    if len(widths) != 1:
+        print("all inputs must share one width", file=sys.stderr)
+        return 2
+    network = best_known(len(words))
+    for w in sort_words(network, words, engine="fsm"):
+        print(w)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal metastability-containing sorting networks "
+        "(DATE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table7", help="regenerate Table 7").set_defaults(fn=_cmd_table7)
+    sub.add_parser("table8", help="regenerate Table 8").set_defaults(fn=_cmd_table8)
+
+    p = sub.add_parser("verify", help="exhaustively verify 2-sort(B)")
+    p.add_argument("--width", "-B", type=int, default=4)
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("export", help="emit structural Verilog for 2-sort(B)")
+    p.add_argument("--width", "-B", type=int, default=8)
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("sort", help="sort valid strings (e.g. 0M10 0110 0010)")
+    p.add_argument("values", nargs="+")
+    p.set_defaults(fn=_cmd_sort)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Measurement, comparison, and reporting against the paper's tables."""
+
+from .cost import ComparisonRow
+from .published import (
+    DESIGNS,
+    HEADLINE,
+    NETWORK_SIZES,
+    TABLE7,
+    TABLE8,
+    PublishedCost,
+    improvement_pct,
+)
+from .compare import (
+    PAPER_WIDTHS,
+    measure_network,
+    measure_two_sort,
+    table7_rows,
+    table8_rows,
+)
+from .tables import render_grouped, render_table
+
+__all__ = [
+    "ComparisonRow",
+    "DESIGNS",
+    "HEADLINE",
+    "NETWORK_SIZES",
+    "TABLE7",
+    "TABLE8",
+    "PublishedCost",
+    "improvement_pct",
+    "PAPER_WIDTHS",
+    "measure_network",
+    "measure_two_sort",
+    "table7_rows",
+    "table8_rows",
+    "render_grouped",
+    "render_table",
+]

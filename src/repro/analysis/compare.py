@@ -1,0 +1,78 @@
+"""High-level measurement drivers for the paper's tables and figure.
+
+These functions build the relevant circuits, measure them, and pair the
+results with the published numbers -- the shared machinery behind the
+benchmark harness (``benchmarks/``) and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..circuits.analysis import report
+from ..circuits.library import DEFAULT_LIBRARY, CellLibrary
+from ..networks.build import TWO_SORT_BUILDERS, build_sorting_circuit
+from ..networks.topologies import TABLE8_NETWORKS
+from .cost import ComparisonRow
+from .published import TABLE7, TABLE8, PublishedCost
+
+#: The bit widths evaluated throughout the paper's Section 6.
+PAPER_WIDTHS = (2, 4, 8, 16)
+
+
+def measure_two_sort(
+    design: str, width: int, library: CellLibrary = DEFAULT_LIBRARY
+) -> ComparisonRow:
+    """Build and measure one 2-sort(B); pair with its Table 7 cell."""
+    builder = TWO_SORT_BUILDERS[design]
+    circuit = builder(width)
+    published: Optional[PublishedCost] = TABLE7.get(design, {}).get(width)
+    return ComparisonRow(
+        label=f"{design} 2-sort({width})",
+        measured=report(circuit, library),
+        published=published,
+    )
+
+
+def table7_rows(
+    widths=PAPER_WIDTHS, designs=("this-paper", "date17", "bincomp"),
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> List[ComparisonRow]:
+    """All rows of Table 7 (also the data series of Figure 1)."""
+    return [
+        measure_two_sort(design, width, library)
+        for width in widths
+        for design in designs
+    ]
+
+
+def measure_network(
+    design: str,
+    network_label: str,
+    width: int,
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> ComparisonRow:
+    """Build and measure one full sorting circuit; pair with Table 8."""
+    network = TABLE8_NETWORKS[network_label]
+    circuit = build_sorting_circuit(network, width, two_sort=design)
+    published = TABLE8.get(design, {}).get(network_label, {}).get(width)
+    return ComparisonRow(
+        label=f"{design} {network_label} B={width}",
+        measured=report(circuit, library),
+        published=published,
+    )
+
+
+def table8_rows(
+    widths=PAPER_WIDTHS,
+    designs=("this-paper", "date17", "bincomp"),
+    networks=("4-sort", "7-sort", "10-sort#", "10-sortd"),
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> List[ComparisonRow]:
+    """All rows of Table 8, in the paper's (B, network, design) order."""
+    return [
+        measure_network(design, network_label, width, library)
+        for width in widths
+        for network_label in networks
+        for design in designs
+    ]

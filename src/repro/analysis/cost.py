@@ -1,0 +1,63 @@
+"""Measured-vs-published cost rows for the reproduction benches.
+
+Wraps :func:`repro.circuits.analysis.report` results together with the
+corresponding :class:`~repro.analysis.published.PublishedCost`, plus
+relative deviations, so every bench prints the evidence needed to judge
+the reproduction (exactness of gate counts, closeness of area, shape of
+delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..circuits.analysis import CostReport
+from .published import PublishedCost
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One measured/published pairing (one cell group of a paper table)."""
+
+    label: str
+    measured: CostReport
+    published: Optional[PublishedCost]
+
+    @property
+    def gates_exact(self) -> Optional[bool]:
+        if self.published is None:
+            return None
+        return self.measured.gate_count == self.published.gates
+
+    @property
+    def area_deviation_pct(self) -> Optional[float]:
+        if self.published is None or self.published.area_um2 == 0:
+            return None
+        return (
+            self.measured.area_um2 / self.published.area_um2 - 1.0
+        ) * 100.0
+
+    @property
+    def delay_deviation_pct(self) -> Optional[float]:
+        if self.published is None or self.published.delay_ps == 0:
+            return None
+        return (
+            self.measured.delay_ps / self.published.delay_ps - 1.0
+        ) * 100.0
+
+    def format(self) -> str:
+        """A fixed-width report line: measured values, then paper values."""
+        m = self.measured
+        line = (
+            f"{self.label:<28} {m.gate_count:>6} gates "
+            f"{m.area_um2:>11.3f} µm² {m.delay_ps:>7.0f} ps"
+        )
+        if self.published is not None:
+            p = self.published
+            marks = "=" if self.gates_exact else "≠"
+            line += (
+                f"   | paper: {p.gates:>6}{marks} {p.area_um2:>11.3f} "
+                f"{p.delay_ps:>6.0f}"
+            )
+        return line

@@ -1,0 +1,150 @@
+"""Published numbers from the paper, transcribed for comparison.
+
+Benches print measured values next to these so the reproduction quality
+is visible row by row.  Sources:
+
+* :data:`TABLE7` -- 2-sort(B) gate count / post-layout area [µm²] /
+  pre-layout delay [ps] for the three designs (paper Table 7; Figure 1
+  plots the same data for "This paper" vs. [2]).
+* :data:`TABLE8` -- full sorting networks, n ∈ {4, 7, 10#, 10d},
+  B ∈ {2, 4, 8, 16} (paper Table 8).
+* :data:`HEADLINE` -- the abstract's improvement claims, which derive
+  from the 10-sortd/B=16 row of Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PublishedCost:
+    """One (design, configuration) cell of a paper table."""
+
+    gates: int
+    area_um2: float
+    delay_ps: float
+
+
+#: Design labels used across the paper and this library.
+DESIGNS = ("this-paper", "date17", "bincomp")
+
+#: Table 7: ``TABLE7[design][B]``.
+TABLE7: Dict[str, Dict[int, PublishedCost]] = {
+    "this-paper": {
+        2: PublishedCost(13, 17.486, 119),
+        4: PublishedCost(55, 73.752, 362),
+        8: PublishedCost(169, 227.29, 516),
+        16: PublishedCost(407, 548.016, 805),
+    },
+    "date17": {
+        2: PublishedCost(34, 49.42, 268),
+        4: PublishedCost(160, 230.3, 498),
+        8: PublishedCost(504, 723.52, 827),
+        16: PublishedCost(1344, 1928.262, 1233),
+    },
+    "bincomp": {
+        2: PublishedCost(8, 15.582, 145),
+        4: PublishedCost(19, 34.58, 288),
+        8: PublishedCost(41, 73.752, 477),
+        16: PublishedCost(81, 151.648, 422),
+    },
+}
+
+#: Table 8: ``TABLE8[design][network][B]``; network labels as in the paper.
+TABLE8: Dict[str, Dict[str, Dict[int, PublishedCost]]] = {
+    "this-paper": {
+        "4-sort": {
+            2: PublishedCost(65, 87.402, 357),
+            4: PublishedCost(275, 368.641, 640),
+            8: PublishedCost(845, 1136.184, 1396),
+            16: PublishedCost(2035, 2739.961, 2069),
+        },
+        "7-sort": {
+            2: PublishedCost(208, 279.741, 714),
+            4: PublishedCost(880, 1179.528, 1014),
+            8: PublishedCost(2704, 3636.08, 1921),
+            16: PublishedCost(6512, 8767.374, 3396),
+        },
+        "10-sort#": {
+            2: PublishedCost(377, 506.912, 912),
+            4: PublishedCost(1595, 2137.905, 1235),
+            8: PublishedCost(4901, 6590.283, 2179),
+            16: PublishedCost(11803, 15891.12, 4030),
+        },
+        "10-sortd": {
+            2: PublishedCost(403, 541.968, 833),
+            4: PublishedCost(1705, 2285.514, 1133),
+            8: PublishedCost(5239, 7044.541, 2059),
+            16: PublishedCost(12617, 16987.194, 3844),
+        },
+    },
+    "date17": {
+        "4-sort": {
+            2: PublishedCost(170, 247.016, 846),
+            4: PublishedCost(800, 1151.472, 1558),
+            8: PublishedCost(2520, 3617.67, 2394),
+            16: PublishedCost(6720, 9640.75, 3396),
+        },
+        "7-sort": {
+            2: PublishedCost(544, 790.44, 1715),
+            4: PublishedCost(2560, 3684.541, 3147),
+            8: PublishedCost(8064, 11576.32, 4715),
+            16: PublishedCost(21504, 30849.875, 6415),
+        },
+        "10-sort#": {
+            2: PublishedCost(986, 1432.62, 2285),
+            4: PublishedCost(4640, 6678.294, 4207),
+            8: PublishedCost(14616, 20982.542, 6252),
+            16: PublishedCost(38976, 55916.448, 8437),
+        },
+        "10-sortd": {
+            2: PublishedCost(1054, 1531.467, 2010),
+            4: PublishedCost(4960, 7138.74, 3681),
+            8: PublishedCost(15624, 22429.176, 5481),
+            16: PublishedCost(41664, 59772.132, 7458),
+        },
+    },
+    "bincomp": {
+        "4-sort": {
+            2: PublishedCost(40, 77.91, 478),
+            4: PublishedCost(95, 172.935, 906),
+            8: PublishedCost(205, 368.641, 1475),
+            16: PublishedCost(405, 530.67, 1298),
+        },
+        "7-sort": {
+            2: PublishedCost(128, 249.326, 953),
+            4: PublishedCost(304, 553.28, 1810),
+            8: PublishedCost(656, 1179.528, 2948),
+            16: PublishedCost(1296, 2425.99, 2600),
+        },
+        "10-sort#": {
+            2: PublishedCost(232, 451.815, 1284),
+            4: PublishedCost(551, 1002.848, 2429),
+            8: PublishedCost(1189, 2137.905, 3945),
+            16: PublishedCost(2349, 4397.085, 3474),
+        },
+        "10-sortd": {
+            2: PublishedCost(248, 483.0, 1145),
+            4: PublishedCost(589, 1072.099, 2143),
+            8: PublishedCost(1271, 2285.514, 3470),
+            16: PublishedCost(2511, 4700.304, 3050),
+        },
+    },
+}
+
+#: Comparator counts behind Table 8 (sanity anchors: gates factorise as
+#: ``size × gates(2-sort(B))`` for the MC designs).
+NETWORK_SIZES = {"4-sort": 5, "7-sort": 16, "10-sort#": 29, "10-sortd": 31}
+
+#: Abstract headline: improvements over [2] at 10 channels, B=16
+#: (from the 10-sortd row): delay -48.46%, area -71.58%.
+HEADLINE = {"delay_improvement_pct": 48.46, "area_improvement_pct": 71.58}
+
+
+def improvement_pct(ours: float, baseline: float) -> float:
+    """Relative improvement of ``ours`` vs ``baseline`` in percent."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return (1.0 - ours / baseline) * 100.0

@@ -1,0 +1,46 @@
+"""Plain-text table rendering in the layout of the paper's tables.
+
+Used by the benchmark harness to print regenerated Table 7 / Table 8 /
+Figure 1 data as aligned text, one paper artifact per bench.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table with a rule under headers."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_grouped(
+    title: str,
+    groups: Sequence[tuple],
+) -> str:
+    """Render ``(group_heading, table_text)`` sections under one title."""
+    parts = [title, "=" * len(title)]
+    for heading, body in groups:
+        parts.append("")
+        parts.append(heading)
+        parts.append(body)
+    return "\n".join(parts)

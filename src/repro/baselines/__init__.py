@@ -1,0 +1,27 @@
+"""Comparison baselines from the paper's evaluation (Section 6).
+
+* :mod:`~repro.baselines.date17` -- reconstruction of the Θ(B log B)
+  metastability-containing 2-sort of Bund et al., DATE 2017 [2];
+* :mod:`~repro.baselines.bincomp` -- ``Bin-comp``, the standard
+  non-containing binary comparator + multiplexer design.
+"""
+
+from .date17 import (
+    PUBLISHED_DATE17_2SORT,
+    build_date17_two_sort,
+    predicted_date17_gate_count,
+)
+from .bincomp import (
+    PUBLISHED_BINCOMP_2SORT,
+    build_bincomp_two_sort,
+    predicted_bincomp_gate_count,
+)
+
+__all__ = [
+    "PUBLISHED_DATE17_2SORT",
+    "build_date17_two_sort",
+    "predicted_date17_gate_count",
+    "PUBLISHED_BINCOMP_2SORT",
+    "build_bincomp_two_sort",
+    "predicted_bincomp_gate_count",
+]

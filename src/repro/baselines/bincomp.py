@@ -1,0 +1,136 @@
+"""``Bin-comp``: the standard, non-containing binary comparator baseline.
+
+The paper's third design point (Section 6, Listing 1): a plain VHDL
+``if (a > b)`` comparator on *binary* (not Gray) inputs, synthesised
+with the full standard-cell library -- including XOR and MUX cells --
+and conventional optimisation.  It is smaller and fast, but **not**
+metastability-containing: a single metastable input bit can make the
+select signal metastable, poisoning *both* outputs in positions where
+the inputs differ (demonstrated by ``repro.verify`` and the fault
+injection example).
+
+Two comparator structures are provided, mirroring the paper's
+observation that the synthesis optimiser switched structures between
+B = 8 and B = 16 ("resulting in a decrease of the delay of the binary
+implementation"):
+
+* ``ripple`` -- LSB-to-MSB greater-than chain, minimal area,
+  delay Θ(B);
+* ``tree`` -- the (equality, greater) pair is an associative monoid, so
+  the chain is replaced by a balanced reduction, delay Θ(log B).
+
+``style="auto"`` (default) uses ripple up to 8 bits and tree above,
+like the paper's tool did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.builder import mux_word_cell
+from ..circuits.gates import AND2, INV, OR2, XNOR2
+from ..circuits.netlist import Circuit, NetId
+
+#: Published Bin-comp numbers from Table 7: ``width -> (gates, area, delay)``.
+PUBLISHED_BINCOMP_2SORT = {
+    2: (8, 15.582, 145),
+    4: (19, 34.58, 288),
+    8: (41, 73.752, 477),
+    16: (81, 151.648, 422),
+}
+
+
+def _bit_terms(
+    circuit: Circuit, a: Sequence[NetId], b: Sequence[NetId]
+) -> Tuple[List[NetId], List[NetId]]:
+    """Per-bit (equal, greater) signals: ``e_i = a_i ⊙ b_i``,
+    ``t_i = a_i · b̄_i``."""
+    eq: List[NetId] = []
+    gt: List[NetId] = []
+    for ai, bi in zip(a, b):
+        nb = circuit.add_gate(INV, [bi])
+        gt.append(circuit.add_gate(AND2, [ai, nb]))
+        eq.append(circuit.add_gate(XNOR2, [ai, bi]))
+    return eq, gt
+
+
+def _greater_ripple(
+    circuit: Circuit, eq: List[NetId], gt: List[NetId]
+) -> NetId:
+    """``a > b`` via an MSB-first ripple: ``G_i = t_i + e_i·G_{i+1}``."""
+    acc = gt[-1]
+    for e, t in zip(reversed(eq[:-1]), reversed(gt[:-1])):
+        acc = circuit.add_gate(OR2, [t, circuit.add_gate(AND2, [e, acc])])
+    return acc
+
+
+def _greater_tree(
+    circuit: Circuit, eq: List[NetId], gt: List[NetId]
+) -> NetId:
+    """``a > b`` via balanced reduction of the (e, t) comparison monoid.
+
+    ``(e_L, t_L) ∘ (e_R, t_R) = (e_L·e_R, t_L + e_L·t_R)`` with the left
+    operand covering more-significant bits.
+    """
+    pairs: List[Tuple[NetId, NetId]] = list(zip(eq, gt))
+    while len(pairs) > 1:
+        nxt: List[Tuple[NetId, NetId]] = []
+        for i in range(0, len(pairs) - 1, 2):
+            (el, tl), (er, tr) = pairs[i], pairs[i + 1]
+            e = circuit.add_gate(AND2, [el, er])
+            t = circuit.add_gate(OR2, [tl, circuit.add_gate(AND2, [el, tr])])
+            nxt.append((e, t))
+        if len(pairs) % 2:
+            nxt.append(pairs[-1])
+        pairs = nxt
+    return pairs[0][1]
+
+
+def build_bincomp_two_sort(width: int, style: str = "auto") -> Circuit:
+    """Non-containing binary 2-sort: comparator + two MUX2 banks.
+
+    Inputs ``a_1..a_B, b_1..b_B`` (plain binary, MSB first); outputs the
+    larger word then the smaller word.  ``style`` in
+    {"ripple", "tree", "auto"}.
+    """
+    if width < 1:
+        raise ValueError("comparator width must be >= 1")
+    if style == "auto":
+        style = "ripple" if width <= 8 else "tree"
+    if style not in ("ripple", "tree"):
+        raise ValueError(f"unknown comparator style {style!r}")
+
+    circuit = Circuit(f"bincomp_{width}b_{style}")
+    a = [circuit.add_input(f"a{i}") for i in range(1, width + 1)]
+    b = [circuit.add_input(f"b{i}") for i in range(1, width + 1)]
+
+    if width == 1:
+        nb = circuit.add_gate(INV, [b[0]])
+        greater = circuit.add_gate(AND2, [a[0], nb])
+    else:
+        eq, gt = _bit_terms(circuit, a, b)
+        if style == "ripple":
+            greater = _greater_ripple(circuit, eq, gt)
+        else:
+            greater = _greater_tree(circuit, eq, gt)
+
+    # greater = 1 -> max is a; both outputs share the select (Listing 1).
+    circuit.add_outputs(mux_word_cell(circuit, greater, b, a))
+    circuit.add_outputs(mux_word_cell(circuit, greater, a, b))
+    return circuit
+
+
+def predicted_bincomp_gate_count(width: int, style: str = "auto") -> int:
+    """Closed-form gate count of :func:`build_bincomp_two_sort`."""
+    if width < 1:
+        raise ValueError("comparator width must be >= 1")
+    if style == "auto":
+        style = "ripple" if width <= 8 else "tree"
+    if width == 1:
+        return 2 + 2  # INV + AND + two MUX2
+    prep = 3 * width
+    if style == "ripple":
+        chain = 2 * (width - 1)
+    else:
+        chain = 3 * (width - 1)
+    return prep + chain + 2 * width

@@ -1,0 +1,126 @@
+"""Static analysis of netlists: gate counts, logic depth, area, delay.
+
+Reproduces the three measures the paper reports for every design
+(Tables 7 and 8):
+
+* **# Gates** -- logic gate instances (constants/ties excluded),
+* **Area [µm²]** -- sum of effective cell areas (post-layout model, see
+  :mod:`repro.circuits.library`),
+* **Delay [ps]** -- static critical path under a linear delay model
+  (intrinsic + fanout load per cell).
+
+Logic *depth* (in gate levels) is also exposed; the paper's asymptotic
+claims (depth ``O(log B)``, size ``O(B)``) are checked against it in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from .library import DEFAULT_LIBRARY, CellLibrary
+from .netlist import Circuit, NetId
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost summary of one circuit, mirroring a row of Table 7/8."""
+
+    name: str
+    gate_count: int
+    depth: int
+    area_um2: float
+    delay_ps: float
+    histogram: Mapping[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.gate_count} gates, depth {self.depth}, "
+            f"{self.area_um2:.3f} µm², {self.delay_ps:.0f} ps"
+        )
+
+
+def logic_depth(circuit: Circuit) -> int:
+    """Longest input-to-output path counted in gate levels.
+
+    Inverters count as a level (the paper's depth-3 selection circuit
+    counts its internal inverter levels the same way).
+    """
+    level: Dict[NetId, int] = {n: 0 for n in circuit.inputs}
+    level.update({n: 0 for n in circuit.const_nets})
+    deepest = 0
+    for gate in circuit.topological_gates():
+        d = 1 + max((level[n] for n in gate.inputs), default=0)
+        level[gate.output] = d
+        deepest = max(deepest, d)
+    return deepest
+
+
+def critical_path_delay(
+    circuit: Circuit, library: CellLibrary = DEFAULT_LIBRARY
+) -> float:
+    """Static timing: longest arrival time over all outputs, in ps."""
+    fanout = circuit.fanout()
+    arrival: Dict[NetId, float] = {n: 0.0 for n in circuit.inputs}
+    arrival.update({n: 0.0 for n in circuit.const_nets})
+    worst = 0.0
+    for gate in circuit.topological_gates():
+        cell = library[gate.kind.name]
+        gate_delay = cell.delay_with_fanout(fanout.get(gate.output, 1))
+        t = gate_delay + max((arrival[n] for n in gate.inputs), default=0.0)
+        arrival[gate.output] = t
+        worst = max(worst, t)
+    return worst
+
+
+def total_area(circuit: Circuit, library: CellLibrary = DEFAULT_LIBRARY) -> float:
+    """Sum of effective cell areas in µm²."""
+    return sum(
+        library.area(gate.kind.name)
+        for gate in circuit.gates
+        if gate.kind.arity > 0
+    )
+
+
+def critical_path(
+    circuit: Circuit, library: CellLibrary = DEFAULT_LIBRARY
+) -> Tuple[float, Tuple[NetId, ...]]:
+    """The worst path delay and the nets along it (for reports/debug)."""
+    fanout = circuit.fanout()
+    arrival: Dict[NetId, float] = {n: 0.0 for n in circuit.inputs}
+    arrival.update({n: 0.0 for n in circuit.const_nets})
+    pred: Dict[NetId, Optional[NetId]] = {}
+    for gate in circuit.topological_gates():
+        cell = library[gate.kind.name]
+        gate_delay = cell.delay_with_fanout(fanout.get(gate.output, 1))
+        if gate.inputs:
+            worst_in = max(gate.inputs, key=lambda n: arrival[n])
+            arrival[gate.output] = gate_delay + arrival[worst_in]
+            pred[gate.output] = worst_in
+        else:
+            arrival[gate.output] = gate_delay
+            pred[gate.output] = None
+    if not arrival:
+        return (0.0, ())
+    end = max(arrival, key=lambda n: arrival[n])
+    path = [end]
+    while pred.get(path[-1]) is not None:
+        path.append(pred[path[-1]])
+    return (arrival[end], tuple(reversed(path)))
+
+
+def report(
+    circuit: Circuit,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    name: Optional[str] = None,
+) -> CostReport:
+    """Full cost report for a circuit (one Table 7/8 cell group)."""
+    return CostReport(
+        name=name or circuit.name,
+        gate_count=circuit.gate_count(),
+        depth=logic_depth(circuit),
+        area_um2=round(total_area(circuit, library), 3),
+        delay_ps=round(critical_path_delay(circuit, library), 1),
+        histogram=circuit.gate_histogram(),
+    )

@@ -1,0 +1,89 @@
+"""Reusable gate-level construction helpers.
+
+Small structural idioms shared by the 2-sort builders and the baselines:
+balanced AND/OR trees, the MC-safe AND-OR multiplexer, and bit-vector
+plumbing.  All helpers append gates to a caller-supplied
+:class:`~repro.circuits.netlist.Circuit` and return output nets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .gates import AND2, INV, MUX2, OR2, XOR2
+from .netlist import Circuit, NetId
+
+
+def inv(circuit: Circuit, a: NetId) -> NetId:
+    """Inverter."""
+    return circuit.add_gate(INV, [a])
+
+
+def and2(circuit: Circuit, a: NetId, b: NetId) -> NetId:
+    """Fan-in-2 AND."""
+    return circuit.add_gate(AND2, [a, b])
+
+
+def or2(circuit: Circuit, a: NetId, b: NetId) -> NetId:
+    """Fan-in-2 OR."""
+    return circuit.add_gate(OR2, [a, b])
+
+
+def and_tree(circuit: Circuit, nets: Sequence[NetId]) -> NetId:
+    """Balanced AND tree; depth ``ceil(log2 n)`` levels."""
+    return _tree(circuit, list(nets), AND2)
+
+def or_tree(circuit: Circuit, nets: Sequence[NetId]) -> NetId:
+    """Balanced OR tree; depth ``ceil(log2 n)`` levels."""
+    return _tree(circuit, list(nets), OR2)
+
+
+def _tree(circuit: Circuit, nets: List[NetId], kind) -> NetId:
+    if not nets:
+        raise ValueError("tree over zero nets")
+    while len(nets) > 1:
+        nxt: List[NetId] = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(circuit.add_gate(kind, [nets[i], nets[i + 1]]))
+        if len(nets) % 2:
+            nxt.append(nets[-1])
+        nets = nxt
+    return nets[0]
+
+
+def mux_mc(circuit: Circuit, sel: NetId, a: NetId, b: NetId) -> NetId:
+    """MC-safe 2:1 mux out of AND/OR/INV: ``(~sel & a) | (sel & b)``.
+
+    This is the ``muxM``/``cmux`` of [6]: when ``sel`` is metastable but
+    ``a == b`` stably, the stable value is forwarded.  3 levels, 4 gates.
+    """
+    nsel = inv(circuit, sel)
+    return or2(circuit, and2(circuit, nsel, a), and2(circuit, sel, b))
+
+
+def mux_cell(circuit: Circuit, sel: NetId, a: NetId, b: NetId) -> NetId:
+    """Library MUX2 cell (used by the non-restricted binary baseline)."""
+    return circuit.add_gate(MUX2, [sel, a, b])
+
+
+def xor_cell(circuit: Circuit, a: NetId, b: NetId) -> NetId:
+    """Library XOR2 cell (never masks metastability)."""
+    return circuit.add_gate(XOR2, [a, b])
+
+
+def mux_word_mc(
+    circuit: Circuit, sel: NetId, a: Sequence[NetId], b: Sequence[NetId]
+) -> List[NetId]:
+    """Bitwise MC mux over equal-width vectors."""
+    if len(a) != len(b):
+        raise ValueError("mux over words of unequal width")
+    return [mux_mc(circuit, sel, x, y) for x, y in zip(a, b)]
+
+
+def mux_word_cell(
+    circuit: Circuit, sel: NetId, a: Sequence[NetId], b: Sequence[NetId]
+) -> List[NetId]:
+    """Bitwise MUX2-cell mux over equal-width vectors."""
+    if len(a) != len(b):
+        raise ValueError("mux over words of unequal width")
+    return [mux_cell(circuit, sel, x, y) for x, y in zip(a, b)]

@@ -1,0 +1,114 @@
+"""Three-valued simulation of combinational netlists.
+
+Evaluation assigns every net a :class:`~repro.ternary.trit.Trit` by a
+single topological sweep.  Because every gate kind's evaluation function
+is the metastable closure of its Boolean function (the paper's
+computational model, Table 3), the sweep computes the circuit's
+*worst-case* behaviour under metastability: an ``M`` on a net means the
+corresponding physical node may be at an arbitrary intermediate or
+oscillating voltage.
+
+This matches the paper's modelling assumption that a combinational
+circuit built from closure-respecting cells computes, on each output,
+a value covered by the closure of its Boolean function -- and it is
+exact (not conservative) for the tree-and-DAG structures used here.
+
+Also provided: :func:`evaluate_all_resolutions`, the brute-force
+semantics (simulate every stable resolution of the inputs Boolean-ly and
+superpose), used by the verifier to show that circuit outputs always
+*cover* the closure spec, and to detect when a design is strictly weaker
+(i.e., outputs M where the closure would be stable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..ternary.resolution import resolutions, superpose
+from ..ternary.trit import Trit
+from ..ternary.word import Word
+from .netlist import Circuit, NetId
+
+
+def evaluate(circuit: Circuit, input_values: Mapping[NetId, Trit]) -> Dict[NetId, Trit]:
+    """Simulate; returns the value of *every* net.
+
+    ``input_values`` must cover exactly the primary inputs.
+    """
+    missing = [n for n in circuit.inputs if n not in input_values]
+    if missing:
+        raise ValueError(f"missing values for inputs: {missing[:5]}")
+    extra = [n for n in input_values if n not in set(circuit.inputs)]
+    if extra:
+        raise ValueError(f"values given for non-input nets: {extra[:5]}")
+
+    values: Dict[NetId, Trit] = dict(input_values)
+    for net, const in circuit.const_nets.items():
+        values[net] = const
+    for gate in circuit.topological_gates():
+        values[gate.output] = gate.kind.evaluate(
+            *(values[n] for n in gate.inputs)
+        )
+    return values
+
+
+def evaluate_outputs(
+    circuit: Circuit, input_values: Mapping[NetId, Trit]
+) -> Tuple[Trit, ...]:
+    """Simulate and project onto the primary outputs, in order."""
+    values = evaluate(circuit, input_values)
+    return tuple(values[n] for n in circuit.outputs)
+
+
+def evaluate_words(circuit: Circuit, *words: Word) -> Word:
+    """Convenience wrapper: feed concatenated words, get outputs as a Word.
+
+    The concatenation of ``words`` must match the circuit's input count;
+    the full output vector is returned as a single :class:`Word` (callers
+    slice it into fields).
+    """
+    flat: List[Trit] = [t for w in words for t in w]
+    if len(flat) != len(circuit.inputs):
+        raise ValueError(
+            f"{circuit.name}: expected {len(circuit.inputs)} input bits, "
+            f"got {len(flat)}"
+        )
+    assignment = dict(zip(circuit.inputs, flat))
+    return Word(evaluate_outputs(circuit, assignment))
+
+
+def evaluate_all_resolutions(circuit: Circuit, *words: Word) -> Word:
+    """Superposition of Boolean simulations over all input resolutions.
+
+    This is the metastable closure of the circuit's *Boolean* function
+    applied to the given inputs -- the best any implementation of that
+    Boolean function could do.  Comparing against :func:`evaluate_words`
+    quantifies how far a concrete gate-level structure is from the
+    closure ideal (Kleene simulation can only be equal or weaker, i.e.,
+    produce M where the closure has a stable bit; the paper's designs are
+    proven to achieve equality on valid inputs).
+    """
+    flat: List[Trit] = [t for w in words for t in w]
+    if len(flat) != len(circuit.inputs):
+        raise ValueError(
+            f"{circuit.name}: expected {len(circuit.inputs)} input bits, "
+            f"got {len(flat)}"
+        )
+    combined = Word(flat)
+    outputs = []
+    for stable in resolutions(combined):
+        assignment = dict(zip(circuit.inputs, stable))
+        outputs.append(Word(evaluate_outputs(circuit, assignment)))
+    return superpose(outputs)
+
+
+def weaker_than_closure(circuit: Circuit, *words: Word) -> List[int]:
+    """0-based output positions where simulation is strictly weaker (M vs
+    stable) than the closure of the circuit's Boolean function."""
+    sim = evaluate_words(circuit, *words)
+    ideal = evaluate_all_resolutions(circuit, *words)
+    return [
+        i
+        for i, (s, d) in enumerate(zip(sim, ideal))
+        if s.is_metastable and d.is_stable
+    ]

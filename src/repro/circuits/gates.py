@@ -1,0 +1,120 @@
+"""Gate kinds and their three-valued semantics.
+
+The metastability-containing designs of the paper restrict themselves to
+fan-in-2 AND, OR, and inverters (Section 6: cells INV_X1, AND2_X1,
+OR2_X1, whose transistor-level behaviour computes the metastable closure
+of the Boolean connective).  The non-containing ``Bin-comp`` baseline is
+allowed the richer gate set a synthesis tool would use, including
+XOR/XNOR and And-Or-Invert cells; in the worst-case model some of those
+cells still only compute the closure of *their own* Boolean function,
+which is precisely why the composed binary comparator fails to contain
+metastability.
+
+Every :class:`GateKind` carries an evaluation function over
+:class:`~repro.ternary.trit.Trit` inputs, so circuit simulation and
+closure semantics live in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..ternary.kleene import (
+    kleene_and,
+    kleene_aoi21,
+    kleene_mux,
+    kleene_nand,
+    kleene_nor,
+    kleene_not,
+    kleene_oai21,
+    kleene_or,
+    kleene_xnor,
+    kleene_xor,
+)
+from ..ternary.trit import Trit
+
+EvalFn = Callable[..., Trit]
+
+
+@dataclass(frozen=True)
+class GateKind:
+    """A gate type: name, arity, and ternary evaluation function."""
+
+    name: str
+    arity: int
+    evaluate: EvalFn
+    #: True if the cell belongs to the restricted MC-safe set used by the
+    #: paper's hand-mapped designs (AND2/OR2/INV only).
+    mc_safe: bool = False
+
+    def __call__(self, *inputs: Trit) -> Trit:
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} inputs, got {len(inputs)}"
+            )
+        return self.evaluate(*inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GateKind({self.name})"
+
+
+def _buf(a: Trit) -> Trit:
+    return a
+
+
+def _const0() -> Trit:
+    return Trit.ZERO
+
+
+def _const1() -> Trit:
+    return Trit.ONE
+
+
+#: The restricted, metastability-containing cell set (paper Section 6).
+INV = GateKind("INV", 1, kleene_not, mc_safe=True)
+AND2 = GateKind("AND2", 2, kleene_and, mc_safe=True)
+OR2 = GateKind("OR2", 2, kleene_or, mc_safe=True)
+
+#: Extended cells, used by the Bin-comp baseline's synthesis-style flow.
+BUF = GateKind("BUF", 1, _buf)
+NAND2 = GateKind("NAND2", 2, kleene_nand)
+NOR2 = GateKind("NOR2", 2, kleene_nor)
+XOR2 = GateKind("XOR2", 2, kleene_xor)
+XNOR2 = GateKind("XNOR2", 2, kleene_xnor)
+AOI21 = GateKind("AOI21", 3, kleene_aoi21)
+OAI21 = GateKind("OAI21", 3, kleene_oai21)
+MUX2 = GateKind("MUX2", 3, kleene_mux)  # (sel, a, b) -> a if sel=0 else b
+
+#: Constant drivers (zero-arity); not counted as logic gates by default.
+CONST0 = GateKind("CONST0", 0, _const0)
+CONST1 = GateKind("CONST1", 0, _const1)
+
+ALL_GATE_KINDS: Dict[str, GateKind] = {
+    kind.name: kind
+    for kind in (
+        INV,
+        AND2,
+        OR2,
+        BUF,
+        NAND2,
+        NOR2,
+        XOR2,
+        XNOR2,
+        AOI21,
+        OAI21,
+        MUX2,
+        CONST0,
+        CONST1,
+    )
+}
+
+#: Gate kinds that represent real logic (count toward gate totals).
+LOGIC_GATE_KINDS: Tuple[str, ...] = tuple(
+    name for name in ALL_GATE_KINDS if name not in ("CONST0", "CONST1")
+)
+
+#: The MC-safe subset, for containment lint checks.
+MC_SAFE_KINDS: Tuple[str, ...] = tuple(
+    kind.name for kind in ALL_GATE_KINDS.values() if kind.mc_safe
+)

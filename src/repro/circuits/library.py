@@ -1,0 +1,108 @@
+"""Standard-cell library model: per-cell area and a linear delay model.
+
+The paper's flow (Section 6) hand-maps the MC designs onto three cells of
+the NanGate 45 nm Open Cell Library -- INV_X1, AND2_X1, OR2_X1 -- whose
+transistor-level behaviour computes the metastable closure of the
+respective Boolean connective, then reports *post-layout area* (µm²) and
+*pre-layout delay* (ps) from Cadence Encounter.
+
+We cannot run Encounter, so we substitute a calibrated analytical model
+(documented in DESIGN.md and EXPERIMENTS.md):
+
+* ``area(circuit) = Σ_cells effective_area(cell)``, where the effective
+  areas of AND2_X1 / OR2_X1 (1.4875 µm²) and INV_X1 (0.8703 µm²) were
+  fitted by least squares against the four "This paper" rows of Table 7
+  (the fit reproduces those areas to within 0.1%).  The ratio to the raw
+  NanGate cell areas (0.798 / 0.532 µm²) is the placement overhead of
+  the paper's layout, about 1.83x.
+* ``delay(circuit)`` = longest path where each gate contributes an
+  intrinsic delay plus a fanout-proportional load term -- the standard
+  linear (unit-load) gate delay model.  Intrinsics are calibrated so the
+  2-sort(B) delays land in the ballpark of Table 7; the *shape*
+  (logarithmic growth in B, ordering of the three designs) is what the
+  reproduction preserves.
+
+Cells outside the hand-mapped trio (used only by the ``Bin-comp``
+baseline, mirroring the paper's unrestricted synthesis of the binary
+design) get NanGate-proportional effective areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+#: Fitted placement-overhead factor relative to raw NanGate areas.
+LAYOUT_OVERHEAD = 1.864
+
+
+@dataclass(frozen=True)
+class Cell:
+    """Physical model of one standard cell."""
+
+    name: str
+    #: effective (post-layout) area in µm²
+    area_um2: float
+    #: intrinsic propagation delay in ps
+    delay_ps: float
+    #: additional delay per unit of fanout load, in ps
+    load_ps: float = 0.0
+
+    def delay_with_fanout(self, fanout: int) -> float:
+        """Delay in ps when driving ``fanout`` downstream pins."""
+        return self.delay_ps + self.load_ps * max(fanout, 1)
+
+
+class CellLibrary:
+    """Maps gate-kind names to :class:`Cell` models."""
+
+    def __init__(self, name: str, cells: Mapping[str, Cell]):
+        self.name = name
+        self._cells: Dict[str, Cell] = dict(cells)
+
+    def __getitem__(self, kind_name: str) -> Cell:
+        try:
+            return self._cells[kind_name]
+        except KeyError:
+            raise KeyError(
+                f"cell library {self.name!r} has no cell for gate kind {kind_name!r}"
+            ) from None
+
+    def __contains__(self, kind_name: str) -> bool:
+        return kind_name in self._cells
+
+    def area(self, kind_name: str) -> float:
+        return self[kind_name].area_um2
+
+    def delay(self, kind_name: str, fanout: int = 1) -> float:
+        return self[kind_name].delay_with_fanout(fanout)
+
+
+def _cell(name: str, raw_area: float, delay: float, load: float) -> Cell:
+    return Cell(name, round(raw_area * LAYOUT_OVERHEAD, 4), delay, load)
+
+
+#: Calibrated NanGate-45nm-style library (see module docstring).
+#: AND2/OR2/INV areas are the Table 7 least-squares fit; the rest scale
+#: raw NanGate datasheet areas by ``LAYOUT_OVERHEAD``.
+NANGATE45 = CellLibrary(
+    "nangate45-calibrated",
+    {
+        "INV": Cell("INV_X1", 0.8703, 14.0, 1.9),
+        "AND2": Cell("AND2_X1", 1.4875, 34.3, 2.8),
+        "OR2": Cell("OR2_X1", 1.4875, 34.3, 2.8),
+        "BUF": _cell("BUF_X1", 0.798, 22.0, 1.5),
+        "NAND2": _cell("NAND2_X1", 0.532, 14.0, 1.8),
+        "NOR2": _cell("NOR2_X1", 0.532, 16.0, 1.8),
+        "XOR2": _cell("XOR2_X1", 1.596, 42.0, 2.5),
+        "XNOR2": _cell("XNOR2_X1", 1.596, 42.0, 2.5),
+        "AOI21": _cell("AOI21_X1", 0.798, 24.0, 2.0),
+        "OAI21": _cell("OAI21_X1", 0.798, 24.0, 2.0),
+        "MUX2": _cell("MUX2_X1", 1.862, 38.0, 2.5),
+        "CONST0": Cell("TIE0", 0.0, 0.0, 0.0),
+        "CONST1": Cell("TIE1", 0.0, 0.0, 0.0),
+    },
+)
+
+#: Alias used throughout benches; swap to explore other technologies.
+DEFAULT_LIBRARY = NANGATE45

@@ -1,0 +1,244 @@
+"""Flat gate-level netlists with named nets.
+
+A :class:`Circuit` is a DAG of gate instances over string-named nets,
+with ordered primary inputs and outputs.  Generators (the 2-sort
+builders, the PPC template, sorting-network composition) create fresh
+nets through a :class:`~repro.circuits.wire.NameScope` and may
+*instantiate* one circuit inside another, which copies gates under a
+renamed hierarchy -- the Python analogue of flattening a structural VHDL
+design before hand-mapping (paper Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..ternary.trit import Trit
+from .gates import ALL_GATE_KINDS, CONST0, CONST1, GateKind
+from .wire import NameScope, NetId
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``output = kind(*inputs)``."""
+
+    kind: GateKind
+    inputs: Tuple[NetId, ...]
+    output: NetId
+
+    def __post_init__(self):
+        if len(self.inputs) != self.kind.arity:
+            raise ValueError(
+                f"{self.kind.name} expects {self.kind.arity} inputs, "
+                f"got {len(self.inputs)}"
+            )
+
+
+class CircuitError(ValueError):
+    """Structural problem in a netlist (multiple drivers, cycles, ...)."""
+
+
+class Circuit:
+    """A combinational netlist.
+
+    Nets are created implicitly by driving or reading them; every net
+    must have exactly one driver (a gate, a primary input, or a
+    constant).  Primary outputs are an ordered list of nets.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.scope = NameScope()
+        self._gates: List[Gate] = []
+        self._driver: Dict[NetId, Gate] = {}
+        self._inputs: List[NetId] = []
+        self._input_set: set = set()
+        self._outputs: List[NetId] = []
+        self._const_nets: Dict[NetId, Trit] = {}
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: Optional[NetId] = None, base: str = "in") -> NetId:
+        """Declare a primary input; returns its net id."""
+        if net is None:
+            net = self.scope.net(base)
+        if net in self._input_set:
+            raise CircuitError(f"duplicate primary input {net!r}")
+        if net in self._driver or net in self._const_nets:
+            raise CircuitError(f"net {net!r} already driven")
+        self._inputs.append(net)
+        self._input_set.add(net)
+        self._topo_cache = None
+        return net
+
+    def add_inputs(self, count: int, base: str = "in") -> List[NetId]:
+        """Declare ``count`` primary inputs with a shared base name."""
+        return [self.add_input(base=base) for _ in range(count)]
+
+    def add_output(self, net: NetId) -> NetId:
+        """Mark an existing net as a primary output (order preserved)."""
+        self._outputs.append(net)
+        return net
+
+    def add_outputs(self, nets: Iterable[NetId]) -> List[NetId]:
+        return [self.add_output(n) for n in nets]
+
+    def const(self, value: Trit) -> NetId:
+        """A net tied to a constant 0 or 1 (shared per circuit)."""
+        if value is Trit.META:
+            raise CircuitError("cannot tie a net to constant M")
+        kind = CONST1 if value is Trit.ONE else CONST0
+        for net, v in self._const_nets.items():
+            if v is value:
+                return net
+        net = self.scope.net(f"const{value.to_int()}")
+        self._const_nets[net] = value
+        self._topo_cache = None
+        return net
+
+    def add_gate(
+        self,
+        kind: GateKind,
+        inputs: Sequence[NetId],
+        output: Optional[NetId] = None,
+    ) -> NetId:
+        """Instantiate a gate; returns (and possibly creates) its output net."""
+        if output is None:
+            output = self.scope.net(kind.name.lower())
+        if output in self._driver or output in self._input_set or output in self._const_nets:
+            raise CircuitError(f"net {output!r} already driven")
+        gate = Gate(kind, tuple(inputs), output)
+        self._gates.append(gate)
+        self._driver[output] = gate
+        self._topo_cache = None
+        return output
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[NetId, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[NetId, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        return tuple(self._gates)
+
+    @property
+    def const_nets(self) -> Mapping[NetId, Trit]:
+        return dict(self._const_nets)
+
+    def gate_count(self, logic_only: bool = True) -> int:
+        """Number of gates; constants excluded when ``logic_only``."""
+        if logic_only:
+            return sum(1 for g in self._gates if g.kind.arity > 0)
+        return len(self._gates)
+
+    def gate_histogram(self) -> Dict[str, int]:
+        """Gate count per kind name (logic gates only)."""
+        hist: Dict[str, int] = {}
+        for g in self._gates:
+            if g.kind.arity == 0:
+                continue
+            hist[g.kind.name] = hist.get(g.kind.name, 0) + 1
+        return hist
+
+    def fanout(self) -> Dict[NetId, int]:
+        """Downstream pin count per net (primary outputs count as 1 pin)."""
+        counts: Dict[NetId, int] = {}
+        for g in self._gates:
+            for net in g.inputs:
+                counts[net] = counts.get(net, 0) + 1
+        for net in self._outputs:
+            counts[net] = counts.get(net, 0) + 1
+        return counts
+
+    def driver_of(self, net: NetId) -> Optional[Gate]:
+        return self._driver.get(net)
+
+    def is_mc_safe(self) -> bool:
+        """True iff only AND2/OR2/INV cells are used (paper's restriction)."""
+        return all(g.kind.mc_safe for g in self._gates if g.kind.arity > 0)
+
+    # ------------------------------------------------------------------
+    # Topological order
+    # ------------------------------------------------------------------
+    def topological_gates(self) -> List[Gate]:
+        """Gates in dependency order; raises :class:`CircuitError` on cycles
+        or undriven nets."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+
+        ready = set(self._input_set)
+        ready.update(self._const_nets)
+        remaining = list(self._gates)
+        order: List[Gate] = []
+        while remaining:
+            progressed = False
+            still: List[Gate] = []
+            for gate in remaining:
+                if all(net in ready for net in gate.inputs):
+                    order.append(gate)
+                    ready.add(gate.output)
+                    progressed = True
+                else:
+                    still.append(gate)
+            if not progressed:
+                undriven = {
+                    net
+                    for gate in still
+                    for net in gate.inputs
+                    if net not in ready and net not in self._driver
+                }
+                if undriven:
+                    raise CircuitError(f"undriven nets: {sorted(undriven)[:5]}")
+                raise CircuitError("combinational cycle detected")
+            remaining = still
+        for net in self._outputs:
+            if net not in ready:
+                raise CircuitError(f"primary output {net!r} is undriven")
+        self._topo_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Hierarchy: instantiate a subcircuit into this one
+    # ------------------------------------------------------------------
+    def instantiate(
+        self,
+        sub: "Circuit",
+        input_nets: Sequence[NetId],
+        instance_base: str = "u",
+    ) -> List[NetId]:
+        """Copy ``sub`` into this circuit, binding its primary inputs.
+
+        ``input_nets[i]`` drives ``sub.inputs[i]``.  Returns the nets in
+        this circuit corresponding to ``sub.outputs`` (in order).
+        """
+        if len(input_nets) != len(sub.inputs):
+            raise CircuitError(
+                f"instance of {sub.name!r} expects {len(sub.inputs)} inputs, "
+                f"got {len(input_nets)}"
+            )
+        inst = self.scope.child(instance_base)
+        mapping: Dict[NetId, NetId] = dict(zip(sub.inputs, input_nets))
+        for net, value in sub.const_nets.items():
+            mapping[net] = self.const(value)
+        for gate in sub.topological_gates():
+            new_inputs = tuple(mapping[n] for n in gate.inputs)
+            new_output = inst.net("n")
+            self.add_gate(gate.kind, new_inputs, new_output)
+            mapping[gate.output] = new_output
+        return [mapping[n] for n in sub.outputs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={self.gate_count()})"
+        )

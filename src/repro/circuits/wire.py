@@ -1,0 +1,58 @@
+"""Net identifiers and hierarchical name scopes for netlists.
+
+Nets are plain strings; :class:`NameScope` provides collision-free
+hierarchical names (``top/ppc/l2/op3/and1``) so that generator code can
+instantiate the same subcircuit template many times inside one flat
+:class:`~repro.circuits.netlist.Circuit` -- mirroring how the paper's
+VHDL design is flattened before hand-mapping to standard cells
+(Section 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List
+
+NetId = str
+
+
+class NameScope:
+    """Generates unique hierarchical net/instance names.
+
+    >>> scope = NameScope("top")
+    >>> scope.net("s")
+    'top/s0'
+    >>> scope.net("s")
+    'top/s1'
+    >>> child = scope.child("ppc")
+    >>> child.net("op")
+    'top/ppc0/op0'
+    """
+
+    def __init__(self, prefix: str = ""):
+        self._prefix = prefix
+        self._counters: Dict[str, Iterator[int]] = {}
+
+    def _next(self, base: str) -> int:
+        if base not in self._counters:
+            self._counters[base] = itertools.count()
+        return next(self._counters[base])
+
+    def net(self, base: str) -> NetId:
+        """A fresh net name under this scope."""
+        name = f"{base}{self._next(base)}"
+        return f"{self._prefix}/{name}" if self._prefix else name
+
+    def nets(self, base: str, count: int) -> List[NetId]:
+        """A list of ``count`` fresh net names sharing a base."""
+        return [self.net(base) for _ in range(count)]
+
+    def child(self, base: str) -> "NameScope":
+        """A nested scope for a subcircuit instance."""
+        name = f"{base}{self._next(base)}"
+        prefix = f"{self._prefix}/{name}" if self._prefix else name
+        return NameScope(prefix)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix

@@ -1,0 +1,78 @@
+"""The paper's contribution: optimal MC 2-sort circuits.
+
+Exports the comparison FSM (Fig. 2), the ``⋄`` / ``out`` operators and
+closures (Tables 4/5), the 10-gate selection cells (Fig. 3 / Table 6),
+the complete ``2-sort(B)`` builder (Fig. 5 / Theorem 5.1), and the
+value-level FSM decomposition used to cross-validate everything.
+"""
+
+from .fsm import (
+    ALL_STATES,
+    EQ_EVEN,
+    EQ_ODD,
+    GREATER,
+    INITIAL,
+    LESS,
+    classify,
+    fsm_step,
+    output_bits,
+    run_fsm,
+    two_sort_via_fsm_stable,
+)
+from .diamond import (
+    DIAMOND_TABLE,
+    add_mod4,
+    add_mod4_m,
+    diamond,
+    diamond_hat,
+    diamond_hat_m,
+    diamond_m,
+    n_transform,
+)
+from .out_op import OUT_TABLE, out, out_m
+from .selection import (
+    StateNets,
+    build_diamond_hat_cell,
+    build_out_cell,
+    build_out_cell_initial,
+    diamond_hat_circuit,
+    out_circuit,
+)
+from .two_sort import build_two_sort, predicted_gate_count, split_outputs
+from .functional import prefix_states, two_sort_via_fsm
+
+__all__ = [
+    "ALL_STATES",
+    "EQ_EVEN",
+    "EQ_ODD",
+    "GREATER",
+    "INITIAL",
+    "LESS",
+    "classify",
+    "fsm_step",
+    "output_bits",
+    "run_fsm",
+    "two_sort_via_fsm_stable",
+    "DIAMOND_TABLE",
+    "add_mod4",
+    "add_mod4_m",
+    "diamond",
+    "diamond_hat",
+    "diamond_hat_m",
+    "diamond_m",
+    "n_transform",
+    "OUT_TABLE",
+    "out",
+    "out_m",
+    "StateNets",
+    "build_diamond_hat_cell",
+    "build_out_cell",
+    "build_out_cell_initial",
+    "diamond_hat_circuit",
+    "out_circuit",
+    "build_two_sort",
+    "predicted_gate_count",
+    "split_outputs",
+    "prefix_states",
+    "two_sort_via_fsm",
+]

@@ -1,0 +1,85 @@
+"""The ``⋄`` transition operator, its closure, and the hatted variant.
+
+``⋄`` (Table 5, left) expresses the FSM transition as a binary operator
+on 2-bit state/input codes so that ``s^{(i)} = ⋄_{j≤i} g_j h_j``.  It is
+associative (Observation 3.3); its metastable closure ``⋄_M`` is *not*
+associative in general but behaves associatively on inputs arising from
+valid strings (Theorem 4.1) -- the linchpin that lets the paper use
+parallel prefix computation.
+
+The gate-level implementation works with *inverted first bits*:
+``N(x) := x̄_1 x_2`` and ``x ⋄̂ y := N(Nx ⋄ Ny)`` (Section 5.1).  This
+saves inverters inside the 10-gate selection cells; the PPC operates
+entirely in the hatted domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ternary.kleene import kleene_not
+from ..ternary.resolution import metastable_closure
+from ..ternary.word import Word
+
+#: Table 5 (left): first operand indexes rows, second columns.
+DIAMOND_TABLE: Dict[Tuple[str, str], str] = {
+    ("00", "00"): "00", ("00", "01"): "01", ("00", "11"): "11", ("00", "10"): "10",
+    ("01", "00"): "01", ("01", "01"): "01", ("01", "11"): "01", ("01", "10"): "01",
+    ("11", "00"): "11", ("11", "01"): "10", ("11", "11"): "00", ("11", "10"): "01",
+    ("10", "00"): "10", ("10", "01"): "10", ("10", "11"): "10", ("10", "10"): "10",
+}
+
+
+def diamond(a: Word, b: Word) -> Word:
+    """``a ⋄ b`` on stable 2-bit words (Table 5)."""
+    _check2(a)
+    _check2(b)
+    return Word(DIAMOND_TABLE[(str(a), str(b))])
+
+
+#: ``⋄_M``: metastable closure of ``⋄`` (Definition 2.7).
+diamond_m = metastable_closure(diamond)
+diamond_m.__name__ = "diamond_m"
+
+
+def n_transform(x: Word) -> Word:
+    """``N(x) = x̄_1 x_2``: invert the first bit (M stays M)."""
+    _check2(x)
+    return Word([kleene_not(x.bit(1)), x.bit(2)])
+
+
+def diamond_hat(x: Word, y: Word) -> Word:
+    """``x ⋄̂ y = N(Nx ⋄ Ny)`` on stable 2-bit words."""
+    return n_transform(diamond(n_transform(x), n_transform(y)))
+
+
+#: ``⋄̂_M``: closure of the hatted operator; equals ``N(⋄_M(Nx, Ny))``
+#: because ``N`` is a bit permutation-with-inversion (closure commutes
+#: with per-bit inversions) -- a fact the tests verify.
+diamond_hat_m = metastable_closure(diamond_hat)
+diamond_hat_m.__name__ = "diamond_hat_m"
+
+
+def _check2(w: Word) -> None:
+    if len(w) != 2:
+        raise ValueError(f"expected a 2-bit word, got {w!r}")
+
+
+# ----------------------------------------------------------------------
+# Non-associativity of closures in general (paper's counter-example)
+# ----------------------------------------------------------------------
+def add_mod4(a: Word, b: Word) -> Word:
+    """Binary addition modulo 4 on 2-bit words (MSB first).
+
+    An associative Boolean operator whose closure is *not* associative:
+    ``(0M +_M 01) +_M 01 = MM`` while ``0M +_M (01 +_M 01) = 1M``
+    (Section 4.1).  Exists to make the paper's cautionary remark
+    executable; see ``tests/test_diamond.py``.
+    """
+    _check2(a)
+    _check2(b)
+    return Word.from_int((a.to_int() + b.to_int()) % 4, 2)
+
+
+add_mod4_m = metastable_closure(add_mod4)
+add_mod4_m.__name__ = "add_mod4_m"

@@ -1,0 +1,70 @@
+"""Value-level 2-sort implementations (the proofs' decompositions).
+
+Three independent routes to ``(max_rg_M, min_rg_M)`` exist in this
+package; agreement between them on all valid inputs is the core
+correctness evidence for the reproduction:
+
+1. the closure *specification* (:func:`repro.graycode.ops.two_sort_closure`),
+2. this module's **FSM decomposition**: prefix states via ``⋄_M``
+   (serial or Ladner-Fischer order -- identical by Theorem 4.1), output
+   bits via ``out_M`` (Theorem 4.3),
+3. the **gate-level circuit** (:func:`repro.core.two_sort.build_two_sort`)
+   simulated in three-valued logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graycode.valid import validate
+from ..ppc.prefix import ladner_fischer_prefixes, serial_prefixes
+from ..ternary.word import Word
+from .diamond import diamond_m
+from .out_op import out_m
+
+
+def _pairs(g: Word, h: Word) -> List[Word]:
+    """The input items ``g_i h_i`` fed to the prefix computation."""
+    if len(g) != len(h):
+        raise ValueError("width mismatch")
+    return [Word([g.bit(i), h.bit(i)]) for i in range(1, len(g) + 1)]
+
+
+def prefix_states(g: Word, h: Word, order: str = "ladner_fischer") -> List[Word]:
+    """All closure states ``s^{(0)}_M .. s^{(B)}_M``.
+
+    ``order`` picks the evaluation order of the ``⋄_M`` fold; on valid
+    strings the result is order-independent (Theorem 4.1).
+    """
+    items = _pairs(g, h)
+    if order == "serial":
+        prefixes = serial_prefixes(items, diamond_m)
+    elif order == "ladner_fischer":
+        prefixes = ladner_fischer_prefixes(items, diamond_m)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    return [Word("00")] + prefixes
+
+
+def two_sort_via_fsm(
+    g: Word, h: Word, order: str = "ladner_fischer", check_valid: bool = True
+) -> Tuple[Word, Word]:
+    """``(max_rg_M, min_rg_M)`` via the paper's decomposition.
+
+    Computes ``out_M(s^{(i-1)}_M, g_i h_i)`` for every position
+    (Theorem 4.3).  With ``check_valid`` the inputs are asserted to be
+    valid strings first -- outside ``S^B_rg`` the theorems do not apply
+    and the result is unspecified.
+    """
+    if check_valid:
+        validate(g)
+        validate(h)
+    states = prefix_states(g, h, order=order)
+    items = _pairs(g, h)
+    max_bits = []
+    min_bits = []
+    for i in range(1, len(g) + 1):
+        pair = out_m(states[i - 1], items[i - 1])
+        max_bits.append(pair.bit(1))
+        min_bits.append(pair.bit(2))
+    return (Word(max_bits), Word(min_bits))

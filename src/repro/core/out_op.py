@@ -1,0 +1,36 @@
+"""The ``out`` operator: producing sorted bits from FSM states.
+
+``out(s^{(i-1)}, g_i h_i)`` returns ``max_rg{g,h}_i min_rg{g,h}_i``
+(Table 4, tabulated as the right half of Table 5).  Theorem 4.3 shows
+that for valid inputs, applying the *closure* ``out_M`` to the closure
+state ``s^{(i-1)}_M`` yields exactly the bits of ``max_rg_M`` /
+``min_rg_M`` -- i.e., the decomposition into prefix computation plus
+per-bit output cells survives metastability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ternary.resolution import metastable_closure
+from ..ternary.word import Word
+
+#: Table 5 (right): ``out(s, b)``; s indexes rows, b columns.
+OUT_TABLE: Dict[Tuple[str, str], str] = {
+    ("00", "00"): "00", ("00", "01"): "10", ("00", "11"): "11", ("00", "10"): "10",
+    ("01", "00"): "00", ("01", "01"): "10", ("01", "11"): "11", ("01", "10"): "01",
+    ("11", "00"): "00", ("11", "01"): "01", ("11", "11"): "11", ("11", "10"): "01",
+    ("10", "00"): "00", ("10", "01"): "01", ("10", "11"): "11", ("10", "10"): "10",
+}
+
+
+def out(s: Word, b: Word) -> Word:
+    """``out(s, b)`` on stable 2-bit words (Tables 4/5)."""
+    if len(s) != 2 or len(b) != 2:
+        raise ValueError("out expects 2-bit operands")
+    return Word(OUT_TABLE[(str(s), str(b))])
+
+
+#: ``out_M``: metastable closure of ``out``.
+out_m = metastable_closure(out)
+out_m.__name__ = "out_m"

@@ -1,0 +1,115 @@
+"""Gate-level selection cells implementing ``⋄̂_M`` and ``out_M`` (Fig. 3).
+
+Both operators are realised by the same depth-3 selection-circuit shape
+(paper Fig. 3 with the input wirings of Table 6): per output bit, two
+AND gates feeding an OR, with one OR on a select path and one inverter
+-- in total **4 AND + 4 OR + 2 INV = 10 gates** per operator cell, as
+the paper reports.  Working in the hatted domain (first state bit
+inverted, ``N(x) = x̄_1 x_2``) is what makes this inverter budget
+suffice.
+
+Concretely, with hatted state ``x̂ = (x̂_1, x̂_2) = (s̄_1, s_2)``:
+
+* ``(x ⋄̂ y)_k   = x̂_1·(x̂_2 + ŷ_k) + x̂_2·¬ŷ_k``          (k = 1, 2)
+* ``out(s, b)_1 = (s̄_1 + b_1)·b_2 + ¬s_2·b_1``
+* ``out(s, b)_2 = ¬s̄_1·b_2 + (s_2 + b_2)·b_1``
+
+The footnote-2 caveat of the paper applies: these *particular* formulas
+compute the metastable closure gate-by-gate (Table 3 semantics); other
+Boolean-equivalent formulas do not.  The test suite checks the closure
+property exhaustively over all ``3^4`` operand combinations.
+
+For the first output position the state is the constant
+``Ns^{(0)} = (1, 0)`` and ``out_M`` collapses to one OR (max bit) and
+one AND (min bit) -- the "reduced cell" of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..circuits.builder import and2, inv, or2
+from ..circuits.netlist import Circuit, NetId
+
+#: A hatted 2-bit FSM state or input pair travelling through the PPC.
+StateNets = Tuple[NetId, NetId]
+
+
+def build_diamond_hat_cell(
+    circuit: Circuit, x: StateNets, y: StateNets
+) -> StateNets:
+    """Emit the 10-gate ``⋄̂_M`` cell; returns the hatted result state.
+
+    Both operands are in the hatted domain; inside the PPC this holds
+    automatically because inputs are pre-hatted (``δ_i = N(g_i h_i)``,
+    i.e. ``(ḡ_i, h_i)``) and every cell re-emits hatted outputs.
+    """
+    x1, x2 = x
+    y1, y2 = y
+    out1 = or2(
+        circuit,
+        and2(circuit, x1, or2(circuit, x2, y1)),
+        and2(circuit, x2, inv(circuit, y1)),
+    )
+    out2 = or2(
+        circuit,
+        and2(circuit, x1, or2(circuit, x2, y2)),
+        and2(circuit, x2, inv(circuit, y2)),
+    )
+    return (out1, out2)
+
+
+def build_out_cell(
+    circuit: Circuit, s_hat: StateNets, b1: NetId, b2: NetId
+) -> Tuple[NetId, NetId]:
+    """Emit the 10-gate ``out_M`` cell.
+
+    ``s_hat`` is the *hatted* prefix state ``Ns^{(i-1)}_M`` coming from
+    the PPC; ``b1, b2`` are the raw input bits ``g_i, h_i``.  Returns
+    ``(max_i, min_i)``.
+    """
+    x1, x2 = s_hat  # x1 = s̄1, x2 = s2
+    max_i = or2(
+        circuit,
+        and2(circuit, or2(circuit, x1, b1), b2),
+        and2(circuit, inv(circuit, x2), b1),
+    )
+    min_i = or2(
+        circuit,
+        and2(circuit, inv(circuit, x1), b2),
+        and2(circuit, or2(circuit, x2, b2), b1),
+    )
+    return (max_i, min_i)
+
+
+def build_out_cell_initial(
+    circuit: Circuit, b1: NetId, b2: NetId
+) -> Tuple[NetId, NetId]:
+    """The reduced first-position cell: state ``Ns^{(0)} = (1, 0)``.
+
+    Substituting the constants into the out formulas leaves
+    ``max_1 = g_1 OR h_1`` and ``min_1 = g_1 AND h_1`` -- 2 gates.
+    """
+    return (or2(circuit, b1, b2), and2(circuit, b1, b2))
+
+
+# ----------------------------------------------------------------------
+# Standalone single-cell circuits (unit-test and ablation targets)
+# ----------------------------------------------------------------------
+def diamond_hat_circuit() -> Circuit:
+    """A circuit computing one ``⋄̂_M`` op: inputs x1 x2 y1 y2 → 2 outputs."""
+    c = Circuit("diamond_hat_cell")
+    x = (c.add_input(base="x"), c.add_input(base="x"))
+    y = (c.add_input(base="y"), c.add_input(base="y"))
+    c.add_outputs(build_diamond_hat_cell(c, x, y))
+    return c
+
+
+def out_circuit() -> Circuit:
+    """A circuit computing one ``out_M`` op: inputs s̄1 s2 b1 b2 → 2 outputs."""
+    c = Circuit("out_cell")
+    s = (c.add_input(base="s"), c.add_input(base="s"))
+    b1 = c.add_input(base="b")
+    b2 = c.add_input(base="b")
+    c.add_outputs(build_out_cell(c, s, b1, b2))
+    return c

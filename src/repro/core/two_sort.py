@@ -1,0 +1,99 @@
+"""The complete ``2-sort(B)`` circuit (paper Fig. 5, Theorem 5.1).
+
+Structure, MSB-first over ``B``-bit valid strings ``g`` and ``h``:
+
+1. **Input hatting** -- ``B-1`` inverters produce
+   ``δ_j = N(g_{j+1} h_{j+1}) = (ḡ_{j+1}, h_{j+1})`` for
+   ``j ∈ [B-1]`` (bit 1's state contribution is consumed by the reduced
+   output cell instead of the PPC).
+2. **Prefix network** -- ``PPC_{⋄̂_M}(B-1)`` over the δ items computes
+   all hatted prefix states ``Ns^{(i)}_M`` concurrently
+   (:mod:`repro.ppc`).
+3. **Output stage** -- position 1 uses the reduced AND+OR cell
+   (state is the constant ``Ns^{(0)} = (1,0)``); positions ``2..B`` use
+   full 10-gate ``out_M`` cells fed by ``Ns^{(i-1)}_M`` and the raw bits
+   ``g_i, h_i``.
+
+Gate count: ``10·C(B-1) + (B-1) + 2 + 10·(B-1)`` with ``C`` the
+Ladner-Fischer op count -- 13 / 55 / 169 / 407 for B = 2 / 4 / 8 / 16,
+matching Table 7 exactly.  Depth is ``O(log B)``, size ``O(B)``
+(Theorem 5.1), both asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuits.builder import inv
+from ..circuits.netlist import Circuit, NetId
+from ..ppc.prefix import lf_op_count
+from ..ppc.schedules import get_schedule
+from .selection import (
+    StateNets,
+    build_diamond_hat_cell,
+    build_out_cell,
+    build_out_cell_initial,
+)
+
+
+def build_two_sort(width: int, schedule: str = "ladner_fischer") -> Circuit:
+    """Construct the MC ``2-sort(width)`` netlist.
+
+    Primary inputs: ``g_1..g_B`` then ``h_1..h_B``; primary outputs:
+    ``max_1..max_B`` then ``min_1..min_B`` (the paper's ``g'``/``h'``).
+    ``schedule`` selects the prefix network (paper: ``ladner_fischer``;
+    ``serial``/``sklansky`` exist for ablations and produce functionally
+    identical circuits).
+    """
+    if width < 1:
+        raise ValueError("2-sort width must be >= 1")
+    circuit = Circuit(f"two_sort_{width}b_{schedule}")
+    g = [circuit.add_input(f"g{i}") for i in range(1, width + 1)]
+    h = [circuit.add_input(f"h{i}") for i in range(1, width + 1)]
+
+    max_bits: List[NetId] = [None] * width  # type: ignore[list-item]
+    min_bits: List[NetId] = [None] * width  # type: ignore[list-item]
+
+    # Position 1: reduced cell (state constant Ns^(0) = (1, 0)).
+    max_bits[0], min_bits[0] = build_out_cell_initial(circuit, g[0], h[0])
+
+    if width > 1:
+        # Hatted PPC inputs δ_j = (ḡ_{j+1}, h_{j+1}) for j in [B-1].
+        deltas: List[StateNets] = [
+            (inv(circuit, g[j]), h[j]) for j in range(width - 1)
+        ]
+        prefix_builder = get_schedule(schedule)
+        prefixes = prefix_builder(circuit, deltas, build_diamond_hat_cell)
+        # Position i (2-based): state Ns^{(i-1)} = prefixes[i-2].
+        for i in range(2, width + 1):
+            s_hat = prefixes[i - 2]
+            max_bits[i - 1], min_bits[i - 1] = build_out_cell(
+                circuit, s_hat, g[i - 1], h[i - 1]
+            )
+
+    circuit.add_outputs(max_bits)
+    circuit.add_outputs(min_bits)
+    return circuit
+
+
+def predicted_gate_count(width: int) -> int:
+    """Closed-form gate count of :func:`build_two_sort` (LF schedule).
+
+    ``10·C(B-1)`` for the prefix ops, ``B-1`` hatting inverters, ``2``
+    for the reduced first cell, ``10·(B-1)`` for the remaining output
+    cells.  Reproduces the "# Gates" column of Table 7.
+    """
+    if width < 1:
+        raise ValueError("2-sort width must be >= 1")
+    if width == 1:
+        return 2
+    n = width - 1
+    return 10 * lf_op_count(n) + n + 2 + 10 * n
+
+
+def split_outputs(bits, width: int) -> Tuple[List, List]:
+    """Split a flat 2-sort output vector into (max word, min word)."""
+    seq = list(bits)
+    if len(seq) != 2 * width:
+        raise ValueError(f"expected {2 * width} output bits, got {len(seq)}")
+    return seq[:width], seq[width:]

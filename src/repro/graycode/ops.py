@@ -1,0 +1,72 @@
+"""Behavioural ``max_rg_M`` / ``min_rg_M`` on valid strings (Definition 2.8).
+
+Two equivalent characterisations are implemented:
+
+* :func:`max_rg_closure` / :func:`min_rg_closure` -- the metastable
+  closure per Definition 2.7: resolve all Ms, apply the stable max/min,
+  superpose the results.  This is the *specification*.
+* :func:`max_rg_order` / :func:`min_rg_order` -- lattice max/min with
+  respect to the total order on valid strings (Table 2), via
+  :func:`repro.graycode.valid.rank`.
+
+The paper (and [2]) proves these agree on valid strings; the test suite
+checks the agreement exhaustively.  The closure version additionally
+works on *arbitrary* ``{0,1,M}`` words, which the verifier uses to show
+what non-containing designs do wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ternary.resolution import metastable_closure_multi
+from ..ternary.word import Word
+from .rgc import two_sort_stable
+from .valid import rank, from_rank, validate
+
+_two_sort_closed = metastable_closure_multi(two_sort_stable, arity_out=2)
+
+
+def two_sort_closure(g: Word, h: Word) -> Tuple[Word, Word]:
+    """``(max_rg_M{g,h}, min_rg_M{g,h})`` via Definition 2.7 (specification).
+
+    Accepts arbitrary ``{0,1,M}`` words whose resolutions are codewords;
+    for valid strings this is the 2-sort(B) functionality of
+    Definition 2.8.
+    """
+    if len(g) != len(h):
+        raise ValueError("width mismatch")
+    return _two_sort_closed(g, h)
+
+
+def max_rg_closure(g: Word, h: Word) -> Word:
+    """``max_rg_M{g, h}`` -- closure form."""
+    return two_sort_closure(g, h)[0]
+
+
+def min_rg_closure(g: Word, h: Word) -> Word:
+    """``min_rg_M{g, h}`` -- closure form."""
+    return two_sort_closure(g, h)[1]
+
+
+def max_rg_order(g: Word, h: Word) -> Word:
+    """Order-theoretic max over the total order on valid strings."""
+    return g if rank(validate(g)) >= rank(validate(h)) else h
+
+
+def min_rg_order(g: Word, h: Word) -> Word:
+    """Order-theoretic min over the total order on valid strings."""
+    return g if rank(validate(g)) <= rank(validate(h)) else h
+
+
+def two_sort_order(g: Word, h: Word) -> Tuple[Word, Word]:
+    """(max, min) of two valid strings using the Table 2 order."""
+    if rank(validate(g)) >= rank(validate(h)):
+        return (g, h)
+    return (h, g)
+
+
+def compare_valid(g: Word, h: Word) -> int:
+    """Three-way comparison of valid strings: -1, 0, or +1."""
+    rg, rh = rank(validate(g)), rank(validate(h))
+    return (rg > rh) - (rg < rh)

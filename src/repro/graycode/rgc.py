@@ -1,0 +1,151 @@
+"""Binary reflected Gray code: encoding, decoding, structural lemmas.
+
+The paper sorts Gray-code-encoded measurements because Gray code limits
+the damage a single metastable bit can do: adjacent codewords differ in
+exactly one position, so an ``M`` in that position encodes precisely the
+uncertainty "x or x+1" (Section 2, Table 1).
+
+We implement the recursive definition
+
+    rg_1(0) = 0,   rg_1(1) = 1
+    rg_B(x) = 0 . rg_{B-1}(x)                 for x in [2^{B-1}]
+    rg_B(x) = 1 . rg_{B-1}(2^B - 1 - x)       otherwise
+
+together with the standard O(B) bit-twiddling shortcuts, a decoder, and
+the helper facts used by the correctness proofs (Lemma 3.2,
+Observation 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ternary.trit import Trit
+from ..ternary.word import Word
+
+
+def gray_encode(x: int, width: int) -> Word:
+    """``rg_B(x)``: encode ``x`` into ``width``-bit reflected Gray code.
+
+    >>> str(gray_encode(7, 4))
+    '0100'
+    """
+    if width < 1:
+        raise ValueError("Gray code width must be >= 1")
+    if x < 0 or x >= (1 << width):
+        raise ValueError(f"value {x} out of range for {width}-bit Gray code")
+    gray = x ^ (x >> 1)
+    return Word((gray >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def gray_decode(g: Word) -> int:
+    """``<g>``: decode a *stable* Gray codeword to its integer value.
+
+    Inverse of :func:`gray_encode`; raises ``ValueError`` if ``g``
+    contains a metastable bit (use :mod:`repro.graycode.valid` for those).
+
+    >>> gray_decode(gray_encode(13, 4))
+    13
+    """
+    value = 0
+    acc = 0
+    for t in g:
+        acc ^= t.to_int()
+        value = (value << 1) | acc
+    return value
+
+
+def gray_encode_recursive(x: int, width: int) -> Word:
+    """Reference implementation following the paper's recursion verbatim.
+
+    Exists so tests can check the fast encoder against the definition.
+    """
+    if width < 1:
+        raise ValueError("Gray code width must be >= 1")
+    if x < 0 or x >= (1 << width):
+        raise ValueError(f"value {x} out of range for {width}-bit Gray code")
+    if width == 1:
+        return Word([x])
+    half = 1 << (width - 1)
+    if x < half:
+        return Word([0]).concat(gray_encode_recursive(x, width - 1))
+    return Word([1]).concat(gray_encode_recursive((1 << width) - 1 - x, width - 1))
+
+
+def all_codewords(width: int) -> List[Word]:
+    """All ``2**width`` codewords in ascending order of encoded value."""
+    return [gray_encode(x, width) for x in range(1 << width)]
+
+
+def parity(g: Word) -> int:
+    """``par(g)`` for a stable word: sum of bits mod 2.
+
+    For reflected Gray code, ``par(rg_B(x)) = x mod 2`` -- the code flips
+    exactly one bit per increment.
+    """
+    return sum(t.to_int() for t in g) % 2
+
+
+def successor_differs_at(x: int, width: int) -> int:
+    """1-based index of the single bit where ``rg(x)`` and ``rg(x+1)`` differ.
+
+    The transition bit drives the definition of valid strings: the unique
+    position that may be metastable while a measurement settles between
+    ``x`` and ``x+1``.
+    """
+    if x < 0 or x + 1 >= (1 << width):
+        raise ValueError(f"no successor of {x} in {width}-bit code")
+    g0 = gray_encode(x, width)
+    g1 = gray_encode(x + 1, width)
+    diff = [i for i in range(width) if g0[i] is not g1[i]]
+    if len(diff) != 1:  # pragma: no cover - defends the Gray property
+        raise AssertionError("adjacent Gray codewords must differ in one bit")
+    return diff[0] + 1
+
+
+def first_difference(g: Word, h: Word) -> int:
+    """1-based index of the first differing bit; 0 if the words are equal.
+
+    Both words must be stable and of equal width.  This is the index
+    ``i`` of Lemma 3.2.
+    """
+    if len(g) != len(h):
+        raise ValueError("width mismatch")
+    for i, (a, b) in enumerate(zip(g, h)):
+        if a is not b:
+            return i + 1
+    return 0
+
+
+def lemma_3_2_predicts(g: Word, h: Word) -> int:
+    """Apply Lemma 3.2 to decide the comparison of stable codewords.
+
+    Returns +1 if ``<g> > <h>``, -1 if smaller, 0 if equal -- computed
+    *only* from the first differing bit and the prefix parity, never by
+    decoding.  Used to cross-check the decoder and the FSM.
+    """
+    i = first_difference(g, h)
+    if i == 0:
+        return 0
+    prefix_parity = parity(g.substring(1, i - 1)) if i > 1 else 0
+    gi = g.bit(i).to_int()
+    if prefix_parity == 0:
+        return 1 if gi == 1 else -1
+    return 1 if gi == 0 else -1
+
+
+def max_rg(g: Word, h: Word) -> Word:
+    """``max_rg{g, h}`` on stable codewords (Section 2)."""
+    return g if gray_decode(g) >= gray_decode(h) else h
+
+
+def min_rg(g: Word, h: Word) -> Word:
+    """``min_rg{g, h}`` on stable codewords (Section 2)."""
+    return g if gray_decode(g) <= gray_decode(h) else h
+
+
+def two_sort_stable(g: Word, h: Word):
+    """(max, min) of two stable codewords -- the Boolean 2-sort spec."""
+    if gray_decode(g) >= gray_decode(h):
+        return (g, h)
+    return (h, g)

@@ -1,0 +1,121 @@
+"""Valid strings ``S^B_rg`` and their total order (Definition 2.3, Table 2).
+
+A valid string is either a Gray codeword ``rg(x)`` or the superposition
+``rg(x) ∗ rg(x+1)`` of two adjacent codewords -- i.e., a codeword with
+the unique transition bit replaced by ``M``.  Valid strings model the
+possible outputs of a metastability-aware time-to-digital converter [7]:
+at most one bit is "in flight" at any time.
+
+The set carries a natural total order (Table 2):
+
+    rg(0) < rg(0)∗rg(1) < rg(1) < rg(1)∗rg(2) < ... < rg(N-1)
+
+under which ``max_rg_M`` / ``min_rg_M`` (the metastable closures of
+max/min) are exactly the lattice max/min.  We expose the order through
+:func:`rank`: stable ``rg(x)`` has rank ``2x``, the superposed
+``rg(x)∗rg(x+1)`` has rank ``2x+1``, so ranks enumerate Table 2 rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ternary.trit import Trit
+from ..ternary.word import Word
+from .rgc import gray_decode, gray_encode
+
+
+class InvalidStringError(ValueError):
+    """Raised when a word is not a member of ``S^B_rg``."""
+
+
+def make_valid(x: int, width: int, metastable: bool = False) -> Word:
+    """Construct the valid string of value ``x`` (or ``x ∗ x+1``).
+
+    With ``metastable=False`` this is plain ``rg(x)``; with
+    ``metastable=True`` it is ``rg(x) ∗ rg(x+1)`` and requires
+    ``x < 2**width - 1``.
+    """
+    if not metastable:
+        return gray_encode(x, width)
+    if x + 1 >= (1 << width):
+        raise ValueError(
+            f"no superposition rg({x})∗rg({x + 1}) in {width}-bit code"
+        )
+    return gray_encode(x, width).superpose(gray_encode(x + 1, width))
+
+
+def from_rank(r: int, width: int) -> Word:
+    """Inverse of :func:`rank`: the valid string with order-rank ``r``.
+
+    Ranks run from 0 (``rg(0)``) to ``2**(width+1) - 2`` (``rg(N-1)``).
+    """
+    n_ranks = (1 << (width + 1)) - 1
+    if not 0 <= r < n_ranks:
+        raise ValueError(f"rank {r} out of range [0, {n_ranks})")
+    return make_valid(r // 2, width, metastable=bool(r % 2))
+
+
+def is_valid(w: Word) -> bool:
+    """Membership test for ``S^B_rg``."""
+    return try_rank(w) is not None
+
+
+def try_rank(w: Word) -> Optional[int]:
+    """Rank of ``w`` in the total order of Table 2, or None if invalid."""
+    meta = w.metastable_positions()
+    if len(meta) > 1:
+        return None
+    if not meta:
+        return 2 * gray_decode(w)
+    # Exactly one M: both resolutions must be codewords of adjacent value.
+    pos = meta[0]
+    lo = w.replace_bit(pos, 0)
+    hi = w.replace_bit(pos, 1)
+    a, b = gray_decode(lo), gray_decode(hi)
+    if abs(a - b) != 1:
+        return None
+    return 2 * min(a, b) + 1
+
+
+def rank(w: Word) -> int:
+    """Rank of a valid string in the total order; raises if invalid.
+
+    Stable ``rg(x)`` maps to ``2x``; ``rg(x)∗rg(x+1)`` maps to ``2x+1``.
+    """
+    r = try_rank(w)
+    if r is None:
+        raise InvalidStringError(f"{w!r} is not a valid string")
+    return r
+
+
+def value_interval(w: Word):
+    """The closed integer interval of values ``w`` may represent.
+
+    ``rg(x)`` yields ``(x, x)``; ``rg(x)∗rg(x+1)`` yields ``(x, x+1)``.
+    """
+    r = rank(w)
+    if r % 2 == 0:
+        return (r // 2, r // 2)
+    return (r // 2, r // 2 + 1)
+
+
+def all_valid_strings(width: int) -> List[Word]:
+    """All ``2**(width+1) - 1`` valid strings in ascending order.
+
+    Enumerates Table 2 (for ``width == 4``) top-to-bottom through the
+    interleaving stable / superposed pattern.
+    """
+    return [from_rank(r, width) for r in range((1 << (width + 1)) - 1)]
+
+
+def count_valid_strings(width: int) -> int:
+    """``|S^B_rg| = 2^{B+1} - 1``."""
+    return (1 << (width + 1)) - 1
+
+
+def validate(w: Word) -> Word:
+    """Assert validity, returning the word unchanged (pipeline helper)."""
+    if not is_valid(w):
+        raise InvalidStringError(f"{w!r} is not a valid string")
+    return w

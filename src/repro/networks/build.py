@@ -1,0 +1,70 @@
+"""Composing a sorting-network topology with a 2-sort circuit.
+
+Produces the flat netlists whose costs Table 8 reports: an ``n``-channel
+network over ``B``-bit words instantiates one 2-sort(B) subcircuit per
+comparator.  The composition is agnostic to which 2-sort implementation
+is plugged in -- the paper's (``"this-paper"``), the DATE 2017
+reconstruction (``"date17"``), or the non-containing binary baseline
+(``"bincomp"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..baselines.bincomp import build_bincomp_two_sort
+from ..baselines.date17 import build_date17_two_sort
+from ..circuits.netlist import Circuit, NetId
+from ..core.two_sort import build_two_sort
+from .comparator import SortingNetwork
+
+#: Registry of 2-sort builders by the labels used in benches/tables.
+TWO_SORT_BUILDERS: Dict[str, Callable[[int], Circuit]] = {
+    "this-paper": build_two_sort,
+    "date17": build_date17_two_sort,
+    "bincomp": build_bincomp_two_sort,
+}
+
+
+def build_sorting_circuit(
+    network: SortingNetwork,
+    width: int,
+    two_sort: str = "this-paper",
+) -> Circuit:
+    """Flatten ``network`` with ``2-sort(width)`` comparator circuits.
+
+    Primary inputs: channel 0's bits, then channel 1's, ...; primary
+    outputs likewise (channel 0 carries the minimum for a correct
+    network).  Gate count is ``network.size × gates(2-sort(width))``,
+    which is how Table 8's "# gates" column arises (e.g. 10-sort# at
+    B=16: 29 × 407 = 11803).
+    """
+    try:
+        builder = TWO_SORT_BUILDERS[two_sort]
+    except KeyError:
+        raise KeyError(
+            f"unknown 2-sort implementation {two_sort!r}; "
+            f"available: {sorted(TWO_SORT_BUILDERS)}"
+        ) from None
+
+    template = builder(width)
+    circuit = Circuit(f"{network.name}_{width}b_{two_sort}")
+
+    channels: List[List[NetId]] = [
+        [circuit.add_input(f"ch{ch}_b{i}") for i in range(1, width + 1)]
+        for ch in range(network.channels)
+    ]
+
+    for comp in network.comparators():
+        # 2-sort inputs: g bits then h bits; outputs: max bits then min.
+        outs = circuit.instantiate(
+            template,
+            channels[comp.lo] + channels[comp.hi],
+            instance_base="cmp",
+        )
+        channels[comp.lo] = outs[width:]  # min goes to the low channel
+        channels[comp.hi] = outs[:width]  # max goes to the high channel
+
+    for ch in range(network.channels):
+        circuit.add_outputs(channels[ch])
+    return circuit

@@ -1,0 +1,135 @@
+"""Sorting networks as data: comparators, layers, structural checks.
+
+A sorting network is an oblivious sequence of compare-exchange
+operations.  The paper's headline application (Section 1, Table 8)
+plugs its MC 2-sort(B) into optimal n-channel networks; here the
+network topology is a pure combinatorial object, independent of which
+2-sort circuit implements the comparators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """Compare-exchange between channels ``lo < hi`` (0-based).
+
+    By convention the *smaller* value ends up on channel ``lo``.
+    (Ascending order top-to-bottom; the 2-sort's max output feeds ``hi``.)
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo == self.hi:
+            raise ValueError("comparator must connect two distinct channels")
+        if self.lo > self.hi:
+            raise ValueError(
+                f"comparator channels must be ordered: got ({self.lo}, {self.hi})"
+            )
+
+    def touches(self, other: "Comparator") -> bool:
+        """True if the two comparators share a channel."""
+        return bool({self.lo, self.hi} & {other.lo, other.hi})
+
+
+class SortingNetwork:
+    """An n-channel comparator network arranged in parallel layers.
+
+    ``layers`` is a list of lists of :class:`Comparator`; comparators in
+    one layer must be channel-disjoint (they operate concurrently).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        layers: Iterable[Iterable[Tuple[int, int]]],
+        name: str = "network",
+    ):
+        self.channels = channels
+        self.name = name
+        self.layers: List[List[Comparator]] = []
+        for layer_spec in layers:
+            layer = [Comparator(lo, hi) for lo, hi in layer_spec]
+            used: set = set()
+            for comp in layer:
+                if comp.hi >= channels:
+                    raise ValueError(
+                        f"{name}: comparator {comp} exceeds {channels} channels"
+                    )
+                if {comp.lo, comp.hi} & used:
+                    raise ValueError(
+                        f"{name}: overlapping comparators in one layer ({comp})"
+                    )
+                used.update((comp.lo, comp.hi))
+            self.layers.append(layer)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of comparators (the paper's cost driver)."""
+        return sum(len(layer) for layer in self.layers)
+
+    @property
+    def depth(self) -> int:
+        """Number of layers (drives the sorting-network delay)."""
+        return len(self.layers)
+
+    def comparators(self) -> List[Comparator]:
+        """All comparators in execution order (layer by layer)."""
+        return [comp for layer in self.layers for comp in layer]
+
+    # ------------------------------------------------------------------
+    def apply(self, values: Sequence, two_sort=None) -> List:
+        """Run the network on a Python sequence.
+
+        ``two_sort(a, b) -> (larger, smaller)`` defaults to the builtin
+        ordering.  Returns the channel values after all layers,
+        ascending on channel 0..n-1 for a correct network.
+        """
+        if len(values) != self.channels:
+            raise ValueError(
+                f"{self.name} expects {self.channels} values, got {len(values)}"
+            )
+        if two_sort is None:
+            two_sort = lambda a, b: (a, b) if a >= b else (b, a)
+        state = list(values)
+        for layer in self.layers:
+            for comp in layer:
+                larger, smaller = two_sort(state[comp.lo], state[comp.hi])
+                state[comp.lo] = smaller
+                state[comp.hi] = larger
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SortingNetwork({self.name!r}, n={self.channels}, "
+            f"size={self.size}, depth={self.depth})"
+        )
+
+
+def from_comparator_list(
+    channels: int, comparators: Sequence[Tuple[int, int]], name: str = "network"
+) -> SortingNetwork:
+    """Greedily pack a flat comparator sequence into parallel layers.
+
+    Preserves execution order: a comparator goes into the earliest layer
+    after the last one touching either of its channels (standard ASAP
+    layering, as used when reporting network depth).
+    """
+    layers: List[List[Tuple[int, int]]] = []
+    last_layer_of_channel = {}
+    for lo, hi in comparators:
+        earliest = max(
+            last_layer_of_channel.get(lo, -1), last_layer_of_channel.get(hi, -1)
+        ) + 1
+        while len(layers) <= earliest:
+            layers.append([])
+        layers[earliest].append((lo, hi))
+        last_layer_of_channel[lo] = earliest
+        last_layer_of_channel[hi] = earliest
+    return SortingNetwork(channels, layers, name=name)

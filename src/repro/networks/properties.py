@@ -1,0 +1,86 @@
+"""Correctness properties of sorting networks on valid strings.
+
+The MC sorting guarantee composes: if every comparator computes
+``(max_rg_M, min_rg_M)`` then the network output is the multiset of
+inputs *up to superposition uncertainty*, sorted by the Table 2 order.
+This module provides the checkable forms of that statement plus the
+classic 0-1 principle used to validate topologies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..graycode.valid import is_valid, rank
+from ..ternary.word import Word
+from .comparator import SortingNetwork
+
+
+def zero_one_counterexample(
+    network: SortingNetwork,
+) -> Optional[Tuple[Tuple[int, ...], List[int]]]:
+    """0-1 principle: exhaustively test all Boolean inputs.
+
+    Returns ``None`` if the network sorts, else ``(input, output)`` for
+    the first failing vector.  A comparator network sorts all inputs iff
+    it sorts all 0-1 inputs (Knuth 5.3.4).
+    """
+    n = network.channels
+    for bits in itertools.product((0, 1), repeat=n):
+        out = network.apply(list(bits))
+        if out != sorted(bits):
+            return (bits, out)
+    return None
+
+
+def sorts_binary(network: SortingNetwork) -> bool:
+    """Convenience wrapper around :func:`zero_one_counterexample`."""
+    return zero_one_counterexample(network) is None
+
+
+def is_sorted_by_rank(words: Sequence[Word]) -> bool:
+    """True iff the word sequence ascends in the valid-string order."""
+    ranks = [rank(w) for w in words]
+    return all(a <= b for a, b in zip(ranks, ranks[1:]))
+
+
+def outputs_all_valid(words: Sequence[Word]) -> bool:
+    """True iff every output is a member of ``S^B_rg`` (containment)."""
+    return all(is_valid(w) for w in words)
+
+
+def check_mc_sort(
+    inputs: Sequence[Word], outputs: Sequence[Word]
+) -> List[str]:
+    """All violations of the MC sorting contract, as human-readable strings.
+
+    Checks: output count, validity of every output, sortedness in the
+    Table 2 order, and rank-multiset preservation.  (Superposed inputs
+    make *identity* multiset equality too strong in general; rank
+    preservation is the faithful invariant because comparators only
+    permute values of stable inputs and may only keep-or-collapse
+    superpositions consistently.)
+    """
+    problems: List[str] = []
+    if len(inputs) != len(outputs):
+        problems.append(
+            f"channel count changed: {len(inputs)} in, {len(outputs)} out"
+        )
+        return problems
+    for i, w in enumerate(outputs):
+        if not is_valid(w):
+            problems.append(f"output channel {i} is not a valid string: {w}")
+    if problems:
+        return problems
+    if not is_sorted_by_rank(outputs):
+        problems.append(
+            "outputs not ascending: " + ", ".join(str(w) for w in outputs)
+        )
+    in_ranks = sorted(rank(w) for w in inputs)
+    out_ranks = sorted(rank(w) for w in outputs)
+    if in_ranks != out_ranks:
+        problems.append(
+            f"rank multiset changed: {in_ranks} -> {out_ranks}"
+        )
+    return problems

@@ -1,0 +1,67 @@
+"""Word-level simulation of MC sorting networks.
+
+For system-level experiments (sorting many measurement vectors) the
+gate-level simulator is needlessly slow; this module runs a network
+directly on :class:`~repro.ternary.word.Word` values using a pluggable
+2-sort function.  All engines implement the same
+``(g, h) -> (max, min)`` contract:
+
+* ``"closure"``  -- the Definition 2.8 specification,
+* ``"fsm"``      -- the paper's ⋄_M/out_M decomposition,
+* ``"rank"``     -- the Table 2 total order (valid strings only;
+  fastest, used for workload generation),
+* ``"circuit"``  -- three-valued simulation of the gate-level 2-sort
+  (closest to hardware; one netlist per width, cached).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..circuits.evaluate import evaluate_words
+from ..core.functional import two_sort_via_fsm
+from ..core.two_sort import build_two_sort
+from ..graycode.ops import two_sort_closure, two_sort_order
+from ..ternary.word import Word
+from .comparator import SortingNetwork
+
+TwoSortFn = Callable[[Word, Word], Tuple[Word, Word]]
+
+
+@lru_cache(maxsize=None)
+def _cached_circuit(width: int):
+    return build_two_sort(width)
+
+
+def _circuit_two_sort(g: Word, h: Word) -> Tuple[Word, Word]:
+    width = len(g)
+    out = evaluate_words(_cached_circuit(width), g, h)
+    return (out[:width], out[width:])
+
+
+def _fsm_two_sort(g: Word, h: Word) -> Tuple[Word, Word]:
+    return two_sort_via_fsm(g, h, check_valid=False)
+
+
+ENGINES: Dict[str, TwoSortFn] = {
+    "closure": two_sort_closure,
+    "fsm": _fsm_two_sort,
+    "rank": two_sort_order,
+    "circuit": _circuit_two_sort,
+}
+
+
+def sort_words(
+    network: SortingNetwork,
+    values: Sequence[Word],
+    engine: str = "rank",
+) -> List[Word]:
+    """Run ``network`` on Gray-coded words; channel 0 gets the minimum."""
+    try:
+        two_sort = ENGINES[engine]
+    except KeyError:
+        raise KeyError(
+            f"unknown simulation engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return network.apply(list(values), two_sort=two_sort)

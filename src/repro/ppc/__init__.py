@@ -1,0 +1,34 @@
+"""Parallel prefix computation (Ladner-Fischer) -- values and circuits.
+
+Implements the PPC framework of [11] that the paper leans on
+(Section 5.2 and Fig. 4): the size-optimal recursion at the value level,
+the gate-level template parameterised by an operator implementation, and
+alternative schedules (serial, Sklansky) for ablation studies.
+"""
+
+from .prefix import (
+    eq3_cost_pow2,
+    eq3_delay_pow2,
+    ladner_fischer_prefixes,
+    lf_depth,
+    lf_op_count,
+    serial_prefixes,
+)
+from .circuit import Item, OpBuilder, build_ppc, build_serial, build_sklansky
+from .schedules import SCHEDULES, get_schedule
+
+__all__ = [
+    "eq3_cost_pow2",
+    "eq3_delay_pow2",
+    "ladner_fischer_prefixes",
+    "lf_depth",
+    "lf_op_count",
+    "serial_prefixes",
+    "Item",
+    "OpBuilder",
+    "build_ppc",
+    "build_serial",
+    "build_sklansky",
+    "SCHEDULES",
+    "get_schedule",
+]

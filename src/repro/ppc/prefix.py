@@ -1,0 +1,128 @@
+"""Functional parallel prefix computation (Ladner & Fischer [11]).
+
+Given an associative operator ``op`` and inputs ``δ_0 .. δ_{n-1}``, a
+parallel prefix computation outputs all prefixes
+``π_i = δ_0 op δ_1 op ... op δ_i``.  The paper instantiates the
+size-optimal Ladner-Fischer recursion (its Fig. 4) with the ``⋄̂_M``
+operator to compute all FSM states ``s^{(i)}_M`` at once (Section 5.2).
+
+This module provides the *value-level* recursion (used to validate the
+circuit generator and to test Theorem 4.1's order-independence claim)
+plus the op-count/depth accounting, including the closed forms of the
+paper's Equation 3 for powers of two.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+BinOp = Callable[[T, T], T]
+
+
+def serial_prefixes(items: Sequence[T], op: BinOp) -> List[T]:
+    """Left-fold prefixes: the obvious depth-(n-1), (n-1)-op schedule."""
+    if not items:
+        return []
+    out = [items[0]]
+    for item in items[1:]:
+        out.append(op(out[-1], item))
+    return out
+
+
+def ladner_fischer_prefixes(items: Sequence[T], op: BinOp) -> List[T]:
+    """All prefixes via the Fig. 4 recursion (size-optimal LF variant).
+
+    Structure for ``n`` inputs:
+
+    * pair adjacent inputs with ``⌊n/2⌋`` ops (for odd ``n`` the last
+      input is passed through unpaired -- the dashed lines of Fig. 4);
+    * recurse on the ``⌈n/2⌉`` pair results;
+    * odd-indexed outputs come straight from the recursion; even-indexed
+      outputs ``π_{2i}`` (``i ≥ 1``) need one more op with ``δ_{2i}``.
+
+    For an associative ``op`` this equals :func:`serial_prefixes`; for
+    the *closure* operator ``⋄_M`` it equals it only on valid strings
+    (Theorem 4.1), which the tests check both positively and negatively.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    if n == 1:
+        return [items[0]]
+    paired: List[T] = [
+        op(items[2 * i], items[2 * i + 1]) for i in range(n // 2)
+    ]
+    if n % 2:
+        paired.append(items[-1])
+    inner = ladner_fischer_prefixes(paired, op)
+    out: List[T] = [items[0]] * n
+    for i, prefix in enumerate(inner):
+        position = 2 * i + 1
+        if position < n:
+            out[position] = prefix
+    if n % 2:
+        out[n - 1] = inner[-1]
+    for i in range(1, (n + 1) // 2):
+        position = 2 * i
+        if position <= n - 1 and (position != n - 1 or n % 2 == 0):
+            out[position] = op(inner[i - 1], items[position])
+    return out
+
+
+def lf_op_count(n: int) -> int:
+    """Exact op count ``C(n)`` of the Fig. 4 recursion.
+
+    ``C(1) = 0``; ``C(n) = ⌊n/2⌋ + C(⌈n/2⌉) + (#even outputs needing a
+    combine)``.  For powers of two this equals the paper's Eq. 3 closed
+    form ``2n - log2(n) - 2``.  Key values driving the gate counts of
+    Table 7: C(1)=0, C(3)=2, C(7)=9, C(15)=24.
+    """
+    if n < 1:
+        raise ValueError("prefix over less than one item")
+    if n == 1:
+        return 0
+    pair_ops = n // 2
+    if n % 2:
+        extra = (n - 3) // 2 if n >= 3 else 0
+    else:
+        extra = (n - 2) // 2
+    return pair_ops + lf_op_count((n + 1) // 2) + extra
+
+
+def lf_depth(n: int) -> int:
+    """Exact op depth of the Fig. 4 recursion (deepest output).
+
+    Computed by simulating the recursion on depth values.  Bounded above
+    by ``2⌈log2 n⌉ - 1`` (the paper's Eq. 3 bound).
+    """
+
+    class _D:
+        __slots__ = ("d",)
+
+        def __init__(self, d: int):
+            self.d = d
+
+    result = ladner_fischer_prefixes(
+        [_D(0)] * n, lambda a, b: _D(max(a.d, b.d) + 1)
+    )
+    return max(x.d for x in result)
+
+
+def eq3_cost_pow2(n: int) -> int:
+    """Paper Eq. 3: ``cost(PPC(n)) = 2n - log2(n) - 2`` ops (n a power of 2)."""
+    _require_pow2(n)
+    return 2 * n - int(math.log2(n)) - 2
+
+
+def eq3_delay_pow2(n: int) -> int:
+    """Paper Eq. 3: ``delay(PPC(n)) = 2 log2(n) - 1`` op levels (upper bound
+    for the Fig. 4 recursion; the recursion often does one level better)."""
+    _require_pow2(n)
+    return 2 * int(math.log2(n)) - 1
+
+
+def _require_pow2(n: int) -> None:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"{n} is not a power of two")

@@ -1,0 +1,33 @@
+"""Named prefix schedules for experiments and ablations.
+
+``SCHEDULES`` maps a schedule name to a circuit-level builder with the
+signature of :func:`repro.ppc.circuit.build_ppc`.  The paper uses
+``ladner_fischer`` (its Fig. 4); ``serial`` models the bit-serial
+ASYNC 2016 approach [12]; ``sklansky`` is the classic minimum-depth
+schedule, included to quantify the size/depth trade-off (bench E9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..circuits.netlist import Circuit
+from .circuit import Item, OpBuilder, build_ppc, build_serial, build_sklansky
+
+ScheduleFn = Callable[[Circuit, Sequence[Item], OpBuilder], List[Item]]
+
+SCHEDULES: Dict[str, ScheduleFn] = {
+    "ladner_fischer": build_ppc,
+    "serial": build_serial,
+    "sklansky": build_sklansky,
+}
+
+
+def get_schedule(name: str) -> ScheduleFn:
+    """Look up a schedule by name with a helpful error."""
+    try:
+        return SCHEDULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown prefix schedule {name!r}; available: {sorted(SCHEDULES)}"
+        ) from None

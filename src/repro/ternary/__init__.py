@@ -1,0 +1,67 @@
+"""Three-valued (Kleene) logic substrate: trits, words, closure machinery.
+
+This subpackage implements the worst-case metastability model of
+Section 2 of the paper: signals take values in ``{0, 1, M}``; standard
+AND/OR/INV cells compute the metastable closure of their Boolean
+function; and Boolean specifications are lifted to metastable inputs via
+resolution + superposition (Definitions 2.1, 2.5, 2.7).
+"""
+
+from .trit import ALL_TRITS, META, ONE, ZERO, Trit, TritLike, trit
+from .word import Word, word
+from .kleene import (
+    kleene_and,
+    kleene_and_many,
+    kleene_aoi21,
+    kleene_mux,
+    kleene_nand,
+    kleene_nor,
+    kleene_not,
+    kleene_oai21,
+    kleene_or,
+    kleene_or_many,
+    kleene_xnor,
+    kleene_xor,
+)
+from .resolution import (
+    all_stable_words,
+    all_words,
+    covers,
+    metastable_closure,
+    metastable_closure_multi,
+    resolution_count,
+    resolutions,
+    superpose,
+)
+
+__all__ = [
+    "ALL_TRITS",
+    "META",
+    "ONE",
+    "ZERO",
+    "Trit",
+    "TritLike",
+    "trit",
+    "Word",
+    "word",
+    "kleene_and",
+    "kleene_and_many",
+    "kleene_aoi21",
+    "kleene_mux",
+    "kleene_nand",
+    "kleene_nor",
+    "kleene_not",
+    "kleene_oai21",
+    "kleene_or",
+    "kleene_or_many",
+    "kleene_xnor",
+    "kleene_xor",
+    "all_stable_words",
+    "all_words",
+    "covers",
+    "metastable_closure",
+    "metastable_closure_multi",
+    "resolution_count",
+    "resolutions",
+    "superpose",
+]

@@ -1,0 +1,144 @@
+"""Kleene-logic connectives: the gate model of the paper (Table 3).
+
+The paper's computational model specifies the behaviour of basic gates on
+metastable inputs via the metastable closure of their Boolean function.
+For fan-in-2 AND and OR and for inverters this coincides with strong
+Kleene three-valued logic:
+
+* an AND gate with one input at logical 0 outputs 0 even if the other
+  input is metastable (``M``);
+* an OR gate with one input at logical 1 outputs 1 regardless of the
+  other input;
+* in all remaining mixed cases the metastable input propagates.
+
+These functions are the *behavioural* ground truth used both by the
+three-valued circuit simulator (:mod:`repro.circuits.evaluate`) and by
+closure computations (:mod:`repro.ternary.resolution`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .trit import Trit
+
+# Explicit truth tables (Table 3 of the paper).  Keys are (a, b) pairs.
+_AND_TABLE = {
+    (Trit.ZERO, Trit.ZERO): Trit.ZERO,
+    (Trit.ZERO, Trit.ONE): Trit.ZERO,
+    (Trit.ZERO, Trit.META): Trit.ZERO,
+    (Trit.ONE, Trit.ZERO): Trit.ZERO,
+    (Trit.ONE, Trit.ONE): Trit.ONE,
+    (Trit.ONE, Trit.META): Trit.META,
+    (Trit.META, Trit.ZERO): Trit.ZERO,
+    (Trit.META, Trit.ONE): Trit.META,
+    (Trit.META, Trit.META): Trit.META,
+}
+
+_OR_TABLE = {
+    (Trit.ZERO, Trit.ZERO): Trit.ZERO,
+    (Trit.ZERO, Trit.ONE): Trit.ONE,
+    (Trit.ZERO, Trit.META): Trit.META,
+    (Trit.ONE, Trit.ZERO): Trit.ONE,
+    (Trit.ONE, Trit.ONE): Trit.ONE,
+    (Trit.ONE, Trit.META): Trit.ONE,
+    (Trit.META, Trit.ZERO): Trit.META,
+    (Trit.META, Trit.ONE): Trit.ONE,
+    (Trit.META, Trit.META): Trit.META,
+}
+
+_NOT_TABLE = {
+    Trit.ZERO: Trit.ONE,
+    Trit.ONE: Trit.ZERO,
+    Trit.META: Trit.META,
+}
+
+
+def kleene_and(a: Trit, b: Trit) -> Trit:
+    """Two-input AND under the metastable closure (Table 3, left)."""
+    return _AND_TABLE[(a, b)]
+
+
+def kleene_or(a: Trit, b: Trit) -> Trit:
+    """Two-input OR under the metastable closure (Table 3, center)."""
+    return _OR_TABLE[(a, b)]
+
+
+def kleene_not(a: Trit) -> Trit:
+    """Inverter under the metastable closure (Table 3, right)."""
+    return _NOT_TABLE[a]
+
+
+def kleene_and_many(inputs: Iterable[Trit]) -> Trit:
+    """AND over an arbitrary number of inputs (fold of :func:`kleene_and`)."""
+    result = Trit.ONE
+    for value in inputs:
+        result = kleene_and(result, value)
+    return result
+
+
+def kleene_or_many(inputs: Iterable[Trit]) -> Trit:
+    """OR over an arbitrary number of inputs (fold of :func:`kleene_or`)."""
+    result = Trit.ZERO
+    for value in inputs:
+        result = kleene_or(result, value)
+    return result
+
+
+def kleene_nand(a: Trit, b: Trit) -> Trit:
+    """Two-input NAND: closure of NOT(AND(a, b))."""
+    return kleene_not(kleene_and(a, b))
+
+
+def kleene_nor(a: Trit, b: Trit) -> Trit:
+    """Two-input NOR: closure of NOT(OR(a, b))."""
+    return kleene_not(kleene_or(a, b))
+
+
+def kleene_xor(a: Trit, b: Trit) -> Trit:
+    """Two-input XOR under the metastable closure.
+
+    XOR never masks metastability: if either input is ``M``, the output
+    is ``M``.  This is why XOR-based comparators are *not*
+    metastability-containing and why the paper's design avoids relying on
+    XOR for decision signals.
+    """
+    if a is Trit.META or b is Trit.META:
+        return Trit.META
+    return Trit.ONE if a is not b else Trit.ZERO
+
+def kleene_xnor(a: Trit, b: Trit) -> Trit:
+    """Two-input XNOR under the metastable closure."""
+    return kleene_not(kleene_xor(a, b))
+
+
+def kleene_mux(sel: Trit, a: Trit, b: Trit) -> Trit:
+    """Plain AND/OR 2:1 multiplexer: ``(¬sel & a) | (sel & b)``.
+
+    Returns ``a`` when ``sel`` is 0 and ``b`` when ``sel`` is 1.  This is
+    the behaviour of a standard MUX2 cell, and it is *weaker* than the
+    metastable closure of the Boolean mux: with ``sel = M`` it masks
+    agreeing 0s (``AND`` kills them) but NOT agreeing 1s -- ``mux(M,1,1)``
+    yields ``M``.  Achieving the closure needs the consensus term ``a·b``
+    (the ``cmux`` of [6], see ``repro.baselines.date17``) or the paper's
+    carefully structured selection cells (Fig. 3, footnote 2).
+    """
+    return kleene_or(
+        kleene_and(kleene_not(sel), a),
+        kleene_and(sel, b),
+    )
+
+
+def kleene_aoi21(a: Trit, b: Trit, c: Trit) -> Trit:
+    """AOI21 cell: ``NOT((a AND b) OR c)`` under the closure.
+
+    Used only by the non-containing ``Bin-comp`` baseline, mirroring the
+    paper's synthesis flow in which the binary design may use the full
+    standard-cell library including And-Or-Invert cells (Section 6).
+    """
+    return kleene_not(kleene_or(kleene_and(a, b), c))
+
+
+def kleene_oai21(a: Trit, b: Trit, c: Trit) -> Trit:
+    """OAI21 cell: ``NOT((a OR b) AND c)`` under the closure."""
+    return kleene_not(kleene_and(kleene_or(a, b), c))

@@ -1,0 +1,144 @@
+"""Resolution, superposition, and the metastable closure (Defs 2.1/2.5/2.7).
+
+These three notions form the semantic backbone of metastability
+containment:
+
+* ``res(x)`` (Definition 2.5) is the set of stable words obtained by
+  resolving every ``M`` in ``x`` to 0 or 1 independently -- the possible
+  "futures" of a metastable signal vector.
+* ``superpose(S)`` (Definition 2.1 / Observation 2.2) collapses a set of
+  stable words into the most precise ``{0,1,M}`` word covering all of
+  them (``∗S``).
+* ``metastable_closure(f)`` (Definition 2.7) lifts a Boolean operator
+  ``f`` to metastable inputs: resolve, apply, superpose.  The closure is
+  the *best possible* deterministic behaviour of a circuit for ``f`` in
+  the worst-case metastability model.
+
+Observation 2.6 (``∗ res(x) = x`` and ``S ⊆ res(∗S)``) is verified in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from .trit import Trit
+from .word import Word
+
+
+def resolutions(x: Word) -> List[Word]:
+    """``res(x)``: all stable words obtained by resolving each M freely.
+
+    The result has ``2**k`` elements where ``k`` is the number of
+    metastable positions in ``x`` (Definition 2.5).
+    """
+    meta_positions = [i for i, t in enumerate(x) if t.is_metastable]
+    if not meta_positions:
+        return [x]
+    results = []
+    base = list(x)
+    for assignment in itertools.product((Trit.ZERO, Trit.ONE), repeat=len(meta_positions)):
+        for pos, value in zip(meta_positions, assignment):
+            base[pos] = value
+        results.append(Word(base))
+    return results
+
+
+def resolution_count(x: Word) -> int:
+    """``|res(x)|`` without materialising the set."""
+    return 1 << x.metastable_count
+
+
+def superpose(words: Iterable[Word]) -> Word:
+    """``∗S``: the superposition of a non-empty collection of words.
+
+    Associative and commutative (Observation 2.2), so the iteration
+    order is irrelevant.
+    """
+    iterator = iter(words)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("superposition of an empty collection is undefined") from None
+    for w in iterator:
+        result = result.superpose(w)
+    return result
+
+
+def metastable_closure(
+    f: Callable[..., Word],
+) -> Callable[..., Word]:
+    """Lift a Boolean word operator to its metastable closure ``f_M``.
+
+    ``f`` must accept stable :class:`Word` arguments and return a
+    :class:`Word`.  The returned function accepts possibly-metastable
+    words and computes ``∗ f(res(x1) × ... × res(xn))`` per
+    Definition 2.7.  Cost is exponential in the total number of ``M``
+    bits -- fine for the single-M valid strings of the paper and for
+    exhaustive verification at small widths.
+    """
+
+    def closed(*args: Word) -> Word:
+        resolved_axes = [resolutions(a) for a in args]
+        outputs = (
+            f(*combo) for combo in itertools.product(*resolved_axes)
+        )
+        return superpose(outputs)
+
+    closed.__name__ = f"{getattr(f, '__name__', 'f')}_M"
+    closed.__doc__ = f"Metastable closure of {getattr(f, '__name__', 'f')}."
+    return closed
+
+
+def metastable_closure_multi(
+    f: Callable[..., Tuple[Word, ...]],
+    arity_out: int,
+) -> Callable[..., Tuple[Word, ...]]:
+    """Closure of an operator returning a *tuple* of words.
+
+    Used for 2-sort-style operators that produce (max, min) pairs: each
+    output component is superposed independently, which matches applying
+    Definition 2.7 to the concatenated output string and re-splitting.
+    """
+
+    def closed(*args: Word) -> Tuple[Word, ...]:
+        resolved_axes = [resolutions(a) for a in args]
+        collected: List[List[Word]] = [[] for _ in range(arity_out)]
+        for combo in itertools.product(*resolved_axes):
+            result = f(*combo)
+            if len(result) != arity_out:
+                raise ValueError(
+                    f"operator returned {len(result)} outputs, expected {arity_out}"
+                )
+            for bucket, value in zip(collected, result):
+                bucket.append(value)
+        return tuple(superpose(bucket) for bucket in collected)
+
+    closed.__name__ = f"{getattr(f, '__name__', 'f')}_M"
+    return closed
+
+
+def covers(x: Word, stable: Word) -> bool:
+    """True iff ``stable ∈ res(x)`` (x's wildcards cover the stable word)."""
+    if len(x) != len(stable):
+        return False
+    return all(
+        xt.is_metastable or xt is st for xt, st in zip(x, stable)
+    )
+
+
+def all_words(width: int) -> List[Word]:
+    """All ``3**width`` words over {0, 1, M}; exhaustive-test helper."""
+    return [
+        Word(bits)
+        for bits in itertools.product((Trit.ZERO, Trit.ONE, Trit.META), repeat=width)
+    ]
+
+
+def all_stable_words(width: int) -> List[Word]:
+    """All ``2**width`` stable words."""
+    return [
+        Word(bits)
+        for bits in itertools.product((Trit.ZERO, Trit.ONE), repeat=width)
+    ]

@@ -1,0 +1,20 @@
+"""Verification utilities: exhaustive sweeps and random workloads."""
+
+from .exhaustive import (
+    VerificationResult,
+    valid_pairs,
+    verify_containment,
+    verify_function_agreement,
+    verify_two_sort_circuit,
+)
+from .random_valid import ValidStringSource, measurement_sweep
+
+__all__ = [
+    "VerificationResult",
+    "valid_pairs",
+    "verify_containment",
+    "verify_function_agreement",
+    "verify_two_sort_circuit",
+    "ValidStringSource",
+    "measurement_sweep",
+]

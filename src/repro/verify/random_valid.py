@@ -1,0 +1,62 @@
+"""Random generation of valid strings and measurement workloads.
+
+Valid strings model time-to-digital-converter readings (paper Section 2,
+citing [7]): a measurement of an analog quantity that may be "caught
+mid-transition", leaving the transition bit metastable.  The generators
+here produce single strings, pairs, and whole measurement vectors with a
+configurable metastability rate, seeded for reproducibility -- the
+workload source for simulation benches and the examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..graycode.valid import count_valid_strings, from_rank, make_valid
+from ..ternary.word import Word
+
+
+class ValidStringSource:
+    """Seeded generator of valid strings of a fixed width."""
+
+    def __init__(self, width: int, meta_rate: float = 0.5, seed: int = 0):
+        if not 0.0 <= meta_rate <= 1.0:
+            raise ValueError("meta_rate must be in [0, 1]")
+        self.width = width
+        self.meta_rate = meta_rate
+        self._rng = random.Random(seed)
+
+    def sample(self) -> Word:
+        """One valid string; metastable with probability ``meta_rate``."""
+        n_values = 1 << self.width
+        if self._rng.random() < self.meta_rate and n_values > 1:
+            x = self._rng.randrange(n_values - 1)
+            return make_valid(x, self.width, metastable=True)
+        return make_valid(self._rng.randrange(n_values), self.width)
+
+    def sample_pair(self) -> Tuple[Word, Word]:
+        """An independent pair (the 2-sort input distribution)."""
+        return (self.sample(), self.sample())
+
+    def sample_vector(self, channels: int) -> List[Word]:
+        """A measurement vector for an n-channel sorting network."""
+        return [self.sample() for _ in range(channels)]
+
+    def sample_uniform_rank(self) -> Word:
+        """Uniform over *all* valid strings (stable and superposed alike)."""
+        return from_rank(
+            self._rng.randrange(count_valid_strings(self.width)), self.width
+        )
+
+
+def measurement_sweep(
+    width: int,
+    channels: int,
+    vectors: int,
+    meta_rate: float = 0.5,
+    seed: int = 0,
+) -> List[List[Word]]:
+    """A reproducible batch of measurement vectors (bench workloads)."""
+    source = ValidStringSource(width, meta_rate=meta_rate, seed=seed)
+    return [source.sample_vector(channels) for _ in range(vectors)]

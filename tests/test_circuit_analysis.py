@@ -1,0 +1,131 @@
+"""Tests for cost analysis (repro.circuits.analysis, .library)."""
+
+import pytest
+
+from repro.circuits.analysis import (
+    critical_path,
+    critical_path_delay,
+    logic_depth,
+    report,
+    total_area,
+)
+from repro.circuits.builder import and2, inv, or2
+from repro.circuits.gates import AND2, INV, OR2
+from repro.circuits.library import DEFAULT_LIBRARY, LAYOUT_OVERHEAD, NANGATE45, Cell, CellLibrary
+from repro.circuits.netlist import Circuit
+
+
+def _chain(n):
+    """n inverters in series."""
+    c = Circuit(f"chain{n}")
+    net = c.add_input("a")
+    for _ in range(n):
+        net = inv(c, net)
+    c.add_output(net)
+    return c
+
+
+class TestDepth:
+    def test_chain_depth(self):
+        assert logic_depth(_chain(5)) == 5
+
+    def test_empty_circuit(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output(a)
+        assert logic_depth(c) == 0
+
+    def test_balanced_vs_skewed(self):
+        c = Circuit()
+        ins = c.add_inputs(4)
+        # skewed: ((a & b) & c) & d -> depth 3
+        n = and2(c, ins[0], ins[1])
+        n = and2(c, n, ins[2])
+        n = and2(c, n, ins[3])
+        c.add_output(n)
+        assert logic_depth(c) == 3
+
+
+class TestArea:
+    def test_chain_area(self):
+        area = total_area(_chain(3))
+        assert area == pytest.approx(3 * NANGATE45.area("INV"))
+
+    def test_consts_are_free(self):
+        from repro.ternary.trit import ONE
+
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output(c.add_gate(AND2, [a, c.const(ONE)]))
+        assert total_area(c) == pytest.approx(NANGATE45.area("AND2"))
+
+    def test_table7_area_calibration(self):
+        """The calibrated cells reproduce the paper's 2-sort areas to <0.2%."""
+        from repro.core.two_sort import build_two_sort
+        from repro.analysis.published import TABLE7
+
+        for width in (2, 4, 8, 16):
+            measured = total_area(build_two_sort(width))
+            published = TABLE7["this-paper"][width].area_um2
+            assert measured == pytest.approx(published, rel=2e-3), width
+
+
+class TestDelay:
+    def test_delay_monotone_in_depth(self):
+        assert critical_path_delay(_chain(2)) < critical_path_delay(_chain(4))
+
+    def test_fanout_increases_delay(self):
+        c1 = Circuit()
+        a = c1.add_input("a")
+        n = inv(c1, a)
+        c1.add_output(and2(c1, n, a))
+
+        c2 = Circuit()
+        a2 = c2.add_input("a")
+        n2 = inv(c2, a2)
+        # n2 drives 3 loads instead of 1
+        c2.add_output(and2(c2, n2, a2))
+        c2.add_output(and2(c2, n2, a2))
+        c2.add_output(and2(c2, n2, a2))
+        assert critical_path_delay(c2) > critical_path_delay(c1)
+
+    def test_critical_path_endpoints(self):
+        c = _chain(4)
+        delay, path = critical_path(c)
+        assert delay == pytest.approx(critical_path_delay(c))
+        # path = launching input net + the four inverter outputs
+        assert len(path) == 5
+        assert path[0] == c.inputs[0]
+
+
+class TestLibrary:
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            NANGATE45["FANCY_CELL"]
+
+    def test_contains(self):
+        assert "AND2" in NANGATE45
+        assert "FOO" not in NANGATE45
+
+    def test_cell_delay_with_fanout(self):
+        cell = Cell("X", 1.0, 10.0, 2.0)
+        assert cell.delay_with_fanout(1) == 12.0
+        assert cell.delay_with_fanout(3) == 16.0
+        assert cell.delay_with_fanout(0) == 12.0  # clamped to >=1
+
+    def test_default_library_identity(self):
+        assert DEFAULT_LIBRARY is NANGATE45
+
+    def test_overhead_applied_to_derived_cells(self):
+        assert NANGATE45.area("XOR2") == pytest.approx(1.596 * LAYOUT_OVERHEAD, rel=1e-3)
+
+
+class TestReport:
+    def test_report_fields(self):
+        c = _chain(2)
+        r = report(c, name="chain")
+        assert r.name == "chain"
+        assert r.gate_count == 2
+        assert r.depth == 2
+        assert r.histogram == {"INV": 2}
+        assert "chain" in str(r)

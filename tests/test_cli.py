@@ -1,0 +1,43 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_verify_ok(self, capsys):
+        assert main(["verify", "--width", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "49 cases checked: OK" in out
+
+    def test_verify_refuses_huge_width(self, capsys):
+        assert main(["verify", "--width", "10"]) == 2
+
+    def test_sort_command(self, capsys):
+        assert main(["sort", "0110", "0M10", "0010", "1000"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["0010", "0M10", "0110", "1000"]
+
+    def test_sort_rejects_mixed_widths(self, capsys):
+        assert main(["sort", "01", "011"]) == 2
+
+    def test_sort_rejects_invalid_strings(self):
+        with pytest.raises(Exception):
+            main(["sort", "MM", "00"])
+
+    def test_export(self, capsys):
+        assert main(["export", "--width", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("// generated")
+        assert "endmodule" in out
+
+    def test_table7(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "this-paper 2-sort(16)" in out
+        assert "407" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

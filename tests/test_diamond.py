@@ -1,0 +1,173 @@
+"""Tests for the ⋄ operator and its closure (Table 5, Thm 4.1)."""
+
+import itertools
+
+import pytest
+
+from repro.core.diamond import (
+    DIAMOND_TABLE,
+    add_mod4,
+    add_mod4_m,
+    diamond,
+    diamond_hat,
+    diamond_hat_m,
+    diamond_m,
+    n_transform,
+)
+from repro.core.fsm import fsm_step
+from repro.graycode.valid import all_valid_strings
+from repro.ppc.prefix import ladner_fischer_prefixes, serial_prefixes
+from repro.ternary.trit import Trit
+from repro.ternary.word import Word
+
+STABLE2 = [Word(s) for s in ("00", "01", "11", "10")]
+
+
+class TestTable5:
+    def test_table_is_total(self):
+        assert len(DIAMOND_TABLE) == 16
+
+    def test_identity_row(self):
+        """00 ⋄ y = y."""
+        for y in STABLE2:
+            assert diamond(Word("00"), y) == y
+
+    def test_absorbing_rows(self):
+        """01 ⋄ y = 01 and 10 ⋄ y = 10."""
+        for y in STABLE2:
+            assert diamond(Word("01"), y) == Word("01")
+            assert diamond(Word("10"), y) == Word("10")
+
+    def test_negating_row(self):
+        """11 ⋄ y = ȳ (bitwise complement)."""
+        for y in STABLE2:
+            assert diamond(Word("11"), y) == y.invert()
+
+    def test_matches_fsm_transition(self):
+        """⋄ with state as left operand is exactly the Fig. 2 step."""
+        for s in STABLE2:
+            for b in STABLE2:
+                assert diamond(s, b) == fsm_step(s, b.bit(1), b.bit(2))
+
+    def test_associative_on_stable(self):
+        """Observation 3.3: ⋄ is associative on binary operands."""
+        for a, b, c in itertools.product(STABLE2, repeat=3):
+            assert diamond(diamond(a, b), c) == diamond(a, diamond(b, c))
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            diamond(Word("0"), Word("00"))
+
+
+class TestNTransform:
+    def test_inverts_first_bit_only(self):
+        assert n_transform(Word("00")) == Word("10")
+        assert n_transform(Word("1M")) == Word("0M")
+        assert n_transform(Word("M1")) == Word("M1")
+
+    def test_involution(self):
+        for w in [Word(a + b) for a in "01M" for b in "01M"]:
+            assert n_transform(n_transform(w)) == w
+
+    def test_hat_definition(self):
+        """x ⋄̂ y = N(Nx ⋄ Ny) on stable words."""
+        for x in STABLE2:
+            for y in STABLE2:
+                assert diamond_hat(x, y) == n_transform(
+                    diamond(n_transform(x), n_transform(y))
+                )
+
+    def test_hat_closure_commutes_with_n(self):
+        """⋄̂_M(x, y) == N(⋄_M(Nx, Ny)) on all 81 ternary pairs."""
+        words = [Word(a + b) for a in "01M" for b in "01M"]
+        for x in words:
+            for y in words:
+                assert diamond_hat_m(x, y) == n_transform(
+                    diamond_m(n_transform(x), n_transform(y))
+                )
+
+
+class TestClosureBehaviour:
+    def test_closure_on_stable_is_diamond(self):
+        for a in STABLE2:
+            for b in STABLE2:
+                assert diamond_m(a, b) == diamond(a, b)
+
+    def test_absorbing_states_mask_metastability(self):
+        """01/10 are absorbing even against MM input."""
+        assert diamond_m(Word("01"), Word("MM")) == Word("01")
+        assert diamond_m(Word("10"), Word("MM")) == Word("10")
+
+    def test_mm_state_poisons(self):
+        assert diamond_m(Word("MM"), Word("00")) == Word("MM")
+
+    def test_identity_state_passes_m(self):
+        assert diamond_m(Word("00"), Word("M0")) == Word("M0")
+
+
+class TestTheorem41:
+    """⋄_M behaves associatively on valid-string input sequences."""
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5])
+    def test_lf_order_equals_serial_order(self, width):
+        strings = all_valid_strings(width)
+        for g in strings:
+            for h in strings:
+                items = [Word([g.bit(i), h.bit(i)]) for i in range(1, width + 1)]
+                assert ladner_fischer_prefixes(items, diamond_m) == serial_prefixes(
+                    items, diamond_m
+                ), (g, h)
+
+    def test_all_parenthesizations_width4(self):
+        """Full associativity over every evaluation tree, width 4."""
+
+        def all_folds(items):
+            if len(items) == 1:
+                return {items[0]}
+            results = set()
+            for split in range(1, len(items)):
+                for left in all_folds(items[:split]):
+                    for right in all_folds(items[split:]):
+                        results.add(diamond_m(left, right))
+            return results
+
+        strings = all_valid_strings(4)
+        # sample the diagonal plus mixed pairs to keep runtime sane
+        pairs = [(g, h) for g in strings[::3] for h in strings[::5]]
+        for g, h in pairs:
+            items = [Word([g.bit(i), h.bit(i)]) for i in range(1, 5)]
+            assert len(all_folds(items)) == 1, (g, h)
+
+    def test_closure_not_associative_in_general(self):
+        """The paper's counter-example: +_M mod 4 is not associative."""
+        a, b, c = Word("0M"), Word("01"), Word("01")
+        left = add_mod4_m(add_mod4_m(a, b), c)
+        right = add_mod4_m(a, add_mod4_m(b, c))
+        assert left == Word("MM")
+        assert right == Word("1M")
+        assert left != right
+
+    def test_add_mod4_is_associative_on_stable(self):
+        for a, b, c in itertools.product(STABLE2, repeat=3):
+            assert add_mod4(add_mod4(a, b), c) == add_mod4(a, add_mod4(b, c))
+
+
+class TestObservation42:
+    """∗⋄-fold is MM iff g and h share a metastable bit with equal prefix."""
+
+    def test_mm_iff_joint_metastable_position(self):
+        from repro.ternary.resolution import resolutions, superpose
+
+        width = 4
+        strings = all_valid_strings(width)
+        for g in strings[::2]:
+            for h in strings[::2]:
+                items = [Word([g.bit(i), h.bit(i)]) for i in range(1, width + 1)]
+                folded = serial_prefixes(items, diamond_m)[-1]
+                joint = any(
+                    g.bit(i).is_metastable
+                    and h.bit(i).is_metastable
+                    and g.substring(1, i) == h.substring(1, i)
+                    for i in range(1, width + 1)
+                )
+                assert (folded == Word("MM")) == joint, (g, h)

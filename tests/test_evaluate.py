@@ -1,0 +1,103 @@
+"""Tests for three-valued simulation (repro.circuits.evaluate)."""
+
+import pytest
+
+from repro.circuits.builder import and2, inv, mux_mc, or2, or_tree, and_tree
+from repro.circuits.evaluate import (
+    evaluate,
+    evaluate_all_resolutions,
+    evaluate_outputs,
+    evaluate_words,
+    weaker_than_closure,
+)
+from repro.circuits.gates import AND2, INV, OR2, XOR2
+from repro.circuits.netlist import Circuit
+from repro.ternary.trit import META, ONE, ZERO
+from repro.ternary.word import Word
+
+
+def _and_circuit():
+    c = Circuit("and")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.add_output(c.add_gate(AND2, [a, b]))
+    return c, a, b
+
+
+class TestEvaluate:
+    def test_basic(self):
+        c, a, b = _and_circuit()
+        values = evaluate(c, {a: ONE, b: META})
+        assert values[c.outputs[0]] is META
+
+    def test_missing_input_rejected(self):
+        c, a, b = _and_circuit()
+        with pytest.raises(ValueError, match="missing"):
+            evaluate(c, {a: ONE})
+
+    def test_extra_net_rejected(self):
+        c, a, b = _and_circuit()
+        with pytest.raises(ValueError, match="non-input"):
+            evaluate(c, {a: ONE, b: ONE, "bogus": ZERO})
+
+    def test_outputs_projection(self):
+        c, a, b = _and_circuit()
+        assert evaluate_outputs(c, {a: ZERO, b: META}) == (ZERO,)
+
+
+class TestEvaluateWords:
+    def test_word_plumbing(self):
+        c, a, b = _and_circuit()
+        assert evaluate_words(c, Word("1"), Word("M")) == Word("M")
+        assert evaluate_words(c, Word("1M")) == Word("M")
+
+    def test_width_mismatch(self):
+        c, _, _ = _and_circuit()
+        with pytest.raises(ValueError):
+            evaluate_words(c, Word("011"))
+
+
+class TestClosureComparison:
+    def test_xor_tree_weaker_than_closure(self):
+        """XOR(a, a') with a'=INV(a): Boolean constant 1, but Kleene
+        simulation yields M on metastable input -- a classic glitch
+        structure the closure would mask."""
+        c = Circuit("glitchy")
+        a = c.add_input("a")
+        na = c.add_gate(INV, [a])
+        c.add_output(c.add_gate(XOR2, [a, na]))
+        assert evaluate_words(c, Word("M")) == Word("M")
+        assert evaluate_all_resolutions(c, Word("M")) == Word("1")
+        assert weaker_than_closure(c, Word("M")) == [0]
+
+    def test_mc_cell_not_weaker(self):
+        """The paper's reduced out cell is closure-exact."""
+        c = Circuit("outcell0")
+        g, h = c.add_input("g"), c.add_input("h")
+        c.add_output(or2(c, g, h))
+        c.add_output(and2(c, g, h))
+        for gw in ("0", "1", "M"):
+            for hw in ("0", "1", "M"):
+                assert weaker_than_closure(c, Word(gw), Word(hw)) == []
+
+
+class TestBuilderHelpers:
+    def test_tree_reductions(self):
+        c = Circuit("trees")
+        ins = c.add_inputs(5, base="i")
+        c.add_output(and_tree(c, ins))
+        c.add_output(or_tree(c, ins))
+        out = evaluate_words(c, Word("111M1"))
+        assert out[0] is META  # AND with an M and no 0
+        assert out[1] is ONE   # OR has a 1
+
+    def test_tree_rejects_empty(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            and_tree(c, [])
+
+    def test_mux_mc_selects(self):
+        c = Circuit("m")
+        s, a, b = c.add_input("s"), c.add_input("a"), c.add_input("b")
+        c.add_output(mux_mc(c, s, a, b))
+        assert evaluate_outputs(c, {s: ZERO, a: ONE, b: ZERO}) == (ONE,)
+        assert evaluate_outputs(c, {s: ONE, a: ONE, b: ZERO}) == (ZERO,)

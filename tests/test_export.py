@@ -1,0 +1,104 @@
+"""Tests for netlist export (repro.circuits.export)."""
+
+import itertools
+import re
+
+import pytest
+
+from repro.circuits.export import to_dot, to_verilog
+from repro.circuits.gates import AND2, MUX2, XOR2
+from repro.circuits.netlist import Circuit
+from repro.core.two_sort import build_two_sort
+from repro.ternary.trit import ONE, Trit, ZERO
+
+
+class _VerilogInterpreter:
+    """Tiny evaluator for the assign-per-gate subset we emit."""
+
+    def __init__(self, source: str):
+        self.inputs = re.findall(r"input (\w+);", source)
+        self.n_outputs = len(re.findall(r"output out_\d+;", source))
+        self.wires = re.findall(r"wire (\w+) = (.+);", source)
+        self.assigns = re.findall(r"assign (out_\d+) = (\w+);", source)
+
+    def run(self, input_bits):
+        env = dict(zip(self.inputs, input_bits))
+        for name, expr in self.wires:
+            py = (
+                expr.replace("~", " not ")
+                .replace("&", " and ")
+                .replace("|", " or ")
+            )
+            if "?" in py:
+                sel, rest = py.split("?")
+                a, b = rest.split(":")
+                py = f"({a.strip()}) if ({sel.strip()}) else ({b.strip()})"
+            if "^" in py:
+                left, right = py.split("^")
+                py = f"({left.strip()}) != ({right.strip()})"
+            env[name] = int(eval(py, {}, {k: bool(v) for k, v in env.items()}))
+        return [env[src] for _, src in sorted(self.assigns)]
+
+
+class TestVerilog:
+    def test_two_sort_verilog_is_boolean_equivalent(self):
+        """Emitted Verilog == circuit simulation on all stable inputs."""
+        from repro.circuits.evaluate import evaluate_outputs
+
+        circuit = build_two_sort(2)
+        source = to_verilog(circuit)
+        interp = _VerilogInterpreter(source)
+        for bits in itertools.product((0, 1), repeat=4):
+            want = [
+                t.to_int()
+                for t in evaluate_outputs(
+                    circuit,
+                    dict(zip(circuit.inputs, map(Trit.from_int, bits))),
+                )
+            ]
+            assert interp.run(bits) == want, bits
+
+    def test_module_header(self):
+        source = to_verilog(build_two_sort(2), module_name="two_sort_2")
+        assert source.startswith("// generated")
+        assert "module two_sort_2(" in source
+        assert "endmodule" in source
+        assert "MC-safe cell set: True" in source
+
+    def test_extended_cells(self):
+        c = Circuit("ext")
+        a, b, s = c.add_input("a"), c.add_input("b"), c.add_input("s")
+        c.add_output(c.add_gate(XOR2, [a, b]))
+        c.add_output(c.add_gate(MUX2, [s, a, b]))
+        source = to_verilog(c)
+        assert "^" in source and "?" in source
+        interp = _VerilogInterpreter(source)
+        assert interp.run([1, 0, 0]) == [1, 1]  # xor=1, mux(sel=0)=a=1
+        assert interp.run([1, 0, 1]) == [1, 0]  # mux(sel=1)=b=0
+
+    def test_constants_emitted(self):
+        c = Circuit("with_const")
+        a = c.add_input("a")
+        c.add_output(c.add_gate(AND2, [a, c.const(ONE)]))
+        assert "1'b1" in to_verilog(c)
+
+    def test_sanitization(self):
+        c = Circuit("weird")
+        a = c.add_input("ch0/b-1")
+        c.add_output(c.add_gate(AND2, [a, a]))
+        source = to_verilog(c)
+        assert "ch0/b-1" not in source
+        assert "ch0_b_1" in source
+
+
+class TestDot:
+    def test_structure(self):
+        dot = to_dot(build_two_sort(2))
+        assert dot.startswith('digraph "two_sort_2b_ladner_fischer"')
+        assert dot.count("lightblue") == 4    # inputs
+        assert dot.count("lightgreen") == 4   # outputs
+        assert 'label="AND2"' in dot and 'label="INV"' in dot
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="raise max_gates"):
+            to_dot(build_two_sort(64), max_gates=100)

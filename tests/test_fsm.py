@@ -1,0 +1,94 @@
+"""Tests for the comparison FSM (paper Fig. 2, Lemma 3.2, Table 4)."""
+
+import pytest
+
+from repro.core.fsm import (
+    ALL_STATES,
+    EQ_EVEN,
+    EQ_ODD,
+    GREATER,
+    INITIAL,
+    LESS,
+    classify,
+    fsm_step,
+    output_bits,
+    run_fsm,
+    two_sort_via_fsm_stable,
+)
+from repro.graycode.rgc import gray_decode, gray_encode, two_sort_stable
+from repro.ternary.trit import ONE, ZERO
+from repro.ternary.word import Word
+
+
+class TestTransitions:
+    def test_initial_state(self):
+        assert INITIAL == EQ_EVEN
+
+    def test_equal_bits_toggle_parity(self):
+        assert fsm_step(EQ_EVEN, ONE, ONE) == EQ_ODD
+        assert fsm_step(EQ_ODD, ONE, ONE) == EQ_EVEN
+        assert fsm_step(EQ_EVEN, ZERO, ZERO) == EQ_EVEN
+        assert fsm_step(EQ_ODD, ZERO, ZERO) == EQ_ODD
+
+    def test_difference_decides_by_parity(self):
+        # Parity 0: g_i = 1 means g larger (Lemma 3.2).
+        assert fsm_step(EQ_EVEN, ONE, ZERO) == GREATER
+        assert fsm_step(EQ_EVEN, ZERO, ONE) == LESS
+        # Parity 1 reverses.
+        assert fsm_step(EQ_ODD, ONE, ZERO) == LESS
+        assert fsm_step(EQ_ODD, ZERO, ONE) == GREATER
+
+    def test_absorbing_states(self):
+        for state in (LESS, GREATER):
+            for g in (ZERO, ONE):
+                for h in (ZERO, ONE):
+                    assert fsm_step(state, g, h) == state
+
+
+class TestClassification:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+    def test_classify_agrees_with_decoding(self, width):
+        for x in range(1 << width):
+            for y in range(1 << width):
+                g, h = gray_encode(x, width), gray_encode(y, width)
+                state = classify(g, h)
+                if x > y:
+                    assert state == GREATER
+                elif x < y:
+                    assert state == LESS
+                else:
+                    assert state == (EQ_ODD if x % 2 else EQ_EVEN)
+
+    def test_run_fsm_trajectory_length(self):
+        g, h = gray_encode(3, 4), gray_encode(12, 4)
+        states = run_fsm(g, h)
+        assert len(states) == 5
+        assert states[0] == INITIAL
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            run_fsm(Word("01"), Word("011"))
+
+
+class TestOutput:
+    def test_output_table4(self):
+        g, h = ONE, ZERO
+        assert output_bits(EQ_EVEN, g, h) == (ONE, ZERO)   # (max, min)
+        assert output_bits(GREATER, g, h) == (g, h)
+        assert output_bits(EQ_ODD, g, h) == (ZERO, ONE)    # (min, max)
+        assert output_bits(LESS, g, h) == (h, g)
+
+    def test_output_rejects_garbage_state(self):
+        with pytest.raises(ValueError):
+            output_bits(Word("0"), ONE, ZERO)
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 6])
+    def test_fsm_two_sort_equals_decoding_spec(self, width):
+        """Section 3 pipeline == decode-compare-swap on all stable pairs."""
+        for x in range(1 << width):
+            for y in range(1 << width):
+                g, h = gray_encode(x, width), gray_encode(y, width)
+                assert two_sort_via_fsm_stable(g, h) == two_sort_stable(g, h)
+
+    def test_state_encodings_are_distinct(self):
+        assert len(set(map(str, ALL_STATES))) == 4

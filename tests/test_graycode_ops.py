@@ -1,0 +1,88 @@
+"""Tests for repro.graycode.ops -- max_rg_M / min_rg_M semantics."""
+
+import pytest
+
+from repro.graycode.ops import (
+    compare_valid,
+    max_rg_closure,
+    max_rg_order,
+    min_rg_closure,
+    min_rg_order,
+    two_sort_closure,
+    two_sort_order,
+)
+from repro.graycode.valid import InvalidStringError, all_valid_strings, rank
+from repro.ternary.word import Word
+
+
+class TestPaperExamples:
+    """The three worked examples below Definition 2.8."""
+
+    def test_stable_max(self):
+        assert max_rg_closure(Word("1001"), Word("1000")) == Word("1000")
+
+    def test_superposed_vs_lower_neighbour(self):
+        assert max_rg_closure(Word("0M10"), Word("0010")) == Word("0M10")
+
+    def test_superposed_vs_upper_neighbour(self):
+        assert max_rg_closure(Word("0M10"), Word("0110")) == Word("0110")
+
+
+class TestClosureEqualsOrder:
+    """The closure operators realise the Table 2 total order (as shown in
+    [2]); checked exhaustively at widths 1-4."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_exhaustive_agreement(self, width):
+        strings = all_valid_strings(width)
+        for g in strings:
+            for h in strings:
+                assert max_rg_closure(g, h) == max_rg_order(g, h), (g, h)
+                assert min_rg_closure(g, h) == min_rg_order(g, h), (g, h)
+
+    def test_outputs_are_valid(self):
+        strings = all_valid_strings(3)
+        for g in strings:
+            for h in strings:
+                mx, mn = two_sort_closure(g, h)
+                assert rank(mx) >= rank(mn)
+
+
+class TestAlgebraicProperties:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_commutativity(self, width):
+        strings = all_valid_strings(width)
+        for g in strings:
+            for h in strings:
+                assert two_sort_closure(g, h) == two_sort_closure(h, g)
+
+    def test_idempotence(self):
+        for w in all_valid_strings(3):
+            assert two_sort_closure(w, w) == (w, w)
+
+    def test_max_min_partition_ranks(self):
+        """{rank(max), rank(min)} == {rank(g), rank(h)} as multisets."""
+        strings = all_valid_strings(3)
+        for g in strings:
+            for h in strings:
+                mx, mn = two_sort_closure(g, h)
+                assert sorted((rank(mx), rank(mn))) == sorted((rank(g), rank(h)))
+
+
+class TestOrderHelpers:
+    def test_compare_valid(self):
+        assert compare_valid(Word("0M"), Word("01")) == -1
+        assert compare_valid(Word("01"), Word("0M")) == 1
+        assert compare_valid(Word("0M"), Word("0M")) == 0
+
+    def test_two_sort_order_result(self):
+        mx, mn = two_sort_order(Word("00"), Word("1M"))
+        assert (mx, mn) == (Word("1M"), Word("00"))
+
+    def test_order_ops_reject_invalid(self):
+        with pytest.raises(InvalidStringError):
+            max_rg_order(Word("MM"), Word("00"))
+
+    def test_closure_width_mismatch(self):
+        with pytest.raises(ValueError):
+            two_sort_closure(Word("0"), Word("01"))

@@ -1,0 +1,138 @@
+"""Cross-module integration tests: the full story of the paper, end to end.
+
+Each test exercises several subsystems together (Gray codes -> valid
+strings -> 2-sort circuits -> sorting networks -> analysis), mirroring
+how a user of the library would reproduce the paper's claims.
+"""
+
+import pytest
+
+from repro.analysis.compare import measure_network, measure_two_sort
+from repro.analysis.published import improvement_pct
+from repro.circuits.analysis import logic_depth, report
+from repro.circuits.evaluate import evaluate_words
+from repro.core.two_sort import build_two_sort
+from repro.graycode.rgc import gray_decode, gray_encode
+from repro.graycode.valid import is_valid, make_valid, rank
+from repro.networks.build import build_sorting_circuit
+from repro.networks.simulate import sort_words
+from repro.networks.topologies import SORT4, SORT7, batcher_odd_even
+from repro.networks.properties import check_mc_sort
+from repro.ternary.word import Word
+from repro.verify.random_valid import ValidStringSource, measurement_sweep
+
+
+class TestMeasurementPipeline:
+    """A TDC-style measurement scenario through the whole stack."""
+
+    def test_tdc_scenario(self):
+        # Four sensors measure delays 11, 7, 7-or-8 (in flight), 2.
+        width = 4
+        readings = [
+            gray_encode(11, width),
+            gray_encode(7, width),
+            make_valid(7, width, metastable=True),
+            gray_encode(2, width),
+        ]
+        assert all(is_valid(r) for r in readings)
+
+        ranked = sort_words(SORT4, readings, engine="fsm")
+        assert check_mc_sort(readings, ranked) == []
+        # channel 0 = minimum = value 2
+        assert gray_decode(ranked[0]) == 2
+        # the in-flight measurement sorts between 7 and 8
+        assert ranked[1] == gray_encode(7, width)
+        assert ranked[2] == make_valid(7, width, metastable=True)
+        assert gray_decode(ranked[3]) == 11
+
+    def test_gate_level_equals_word_level(self):
+        """Flat netlist simulation == word-level engine on whole vectors."""
+        width = 3
+        circuit = build_sorting_circuit(SORT7, width)
+        sweep = measurement_sweep(width, channels=7, vectors=5, seed=3)
+        for vector in sweep:
+            out = evaluate_words(circuit, *vector)
+            circuit_result = [
+                out[i * width : (i + 1) * width] for i in range(7)
+            ]
+            word_result = sort_words(SORT7, vector, engine="closure")
+            assert circuit_result == word_result
+
+
+class TestPaperClaimsEndToEnd:
+    def test_asymptotic_claim_depth(self):
+        """Depth O(log B): doubling B adds a constant number of levels."""
+        depths = [logic_depth(build_two_sort(b)) for b in (8, 16, 32, 64)]
+        increments = [b - a for a, b in zip(depths, depths[1:])]
+        assert max(increments) <= 6
+
+    def test_improvement_over_date17_grows_with_width(self):
+        """The Θ(log B) gate-count gap widens with B (Figure 1's story).
+
+        Measured at widths where the asymptotics dominate the small-case
+        constants of the reconstruction.
+        """
+        ratios = []
+        for width in (16, 64, 256):
+            ours = measure_two_sort("this-paper", width).measured.gate_count
+            theirs = measure_two_sort("date17", width).measured.gate_count
+            ratios.append(theirs / ours)
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 3.5
+
+    def test_headline_improvement_direction(self):
+        """10-channel, 16-bit: large area and delay wins over [2]."""
+        ours = measure_network("this-paper", "10-sort#", 16).measured
+        theirs = measure_network("date17", "10-sort#", 16).measured
+        assert improvement_pct(ours.area_um2, theirs.area_um2) > 50
+        assert improvement_pct(ours.delay_ps, theirs.delay_ps) > 30
+
+    def test_delay_comparable_to_binary(self):
+        """Section 6: 'our design performs comparably to the
+        non-containing binary design in terms of delay'."""
+        for width in (4, 8, 16):
+            ours = measure_two_sort("this-paper", width).measured.delay_ps
+            binary = measure_two_sort("bincomp", width).measured.delay_ps
+            assert ours < 2.2 * binary
+
+    def test_binary_smaller_but_not_containing(self):
+        """The trade-off motivating the paper."""
+        mc = build_two_sort(4)
+        from repro.baselines.bincomp import build_bincomp_two_sort
+
+        binary = build_bincomp_two_sort(4)
+        assert report(binary).gate_count < report(mc).gate_count
+        # 1M10 = rg(11) * rg(12): a genuine valid string mid-transition.
+        g, h = Word("1M10"), Word("1000")
+        assert is_valid(g) and is_valid(h)
+        mc_out = evaluate_words(mc, g, h)
+        bin_out = evaluate_words(binary, g, h)
+        assert is_valid(mc_out[:4]) and is_valid(mc_out[4:])
+        assert not (is_valid(bin_out[:4]) and is_valid(bin_out[4:]))
+
+
+class TestScalingBeyondPaper:
+    """The library generalises past the paper's n/B grid."""
+
+    def test_wide_words(self):
+        width = 24
+        src = ValidStringSource(width, meta_rate=0.5, seed=17)
+        circuit = build_two_sort(width)
+        from repro.graycode.ops import two_sort_closure
+
+        for _ in range(5):
+            g, h = src.sample_pair()
+            out = evaluate_words(circuit, g, h)
+            assert (out[:width], out[width:]) == two_sort_closure(g, h)
+
+    def test_large_network(self):
+        net = batcher_odd_even(16)
+        src = ValidStringSource(6, meta_rate=0.4, seed=23)
+        vector = src.sample_vector(16)
+        out = sort_words(net, vector, engine="rank")
+        assert check_mc_sort(vector, out) == []
+
+    def test_cost_report_scales(self):
+        big = build_sorting_circuit(batcher_odd_even(8), 8)
+        r = report(big)
+        assert r.gate_count == batcher_odd_even(8).size * 169

@@ -1,0 +1,153 @@
+"""Tests for repro.ternary.kleene -- the gate model of paper Table 3.
+
+Beyond spot checks, every connective is verified to equal the
+metastable closure of its Boolean function over the full 3x3 domain --
+the defining property of the computational model (Section 2).
+"""
+
+import itertools
+
+import pytest
+
+from repro.ternary.kleene import (
+    kleene_and,
+    kleene_and_many,
+    kleene_aoi21,
+    kleene_mux,
+    kleene_nand,
+    kleene_nor,
+    kleene_not,
+    kleene_oai21,
+    kleene_or,
+    kleene_or_many,
+    kleene_xnor,
+    kleene_xor,
+)
+from repro.ternary.trit import ALL_TRITS, META, ONE, ZERO, Trit
+
+
+def closure_of(boolean_fn, *inputs):
+    """Brute-force metastable closure of a scalar Boolean function."""
+    axes = [t.resolutions() for t in inputs]
+    results = {boolean_fn(*combo) for combo in itertools.product(*axes)}
+    if len(results) == 1:
+        return results.pop()
+    return META
+
+
+class TestTable3:
+    """The exact AND / OR / INV tables from the paper."""
+
+    def test_and_table(self):
+        expected = {
+            ("0", "0"): "0", ("0", "1"): "0", ("0", "M"): "0",
+            ("1", "0"): "0", ("1", "1"): "1", ("1", "M"): "M",
+            ("M", "0"): "0", ("M", "1"): "M", ("M", "M"): "M",
+        }
+        for (a, b), want in expected.items():
+            got = kleene_and(Trit.from_char(a), Trit.from_char(b))
+            assert got.to_char() == want, f"AND({a},{b})"
+
+    def test_or_table(self):
+        expected = {
+            ("0", "0"): "0", ("0", "1"): "1", ("0", "M"): "M",
+            ("1", "0"): "1", ("1", "1"): "1", ("1", "M"): "1",
+            ("M", "0"): "M", ("M", "1"): "1", ("M", "M"): "M",
+        }
+        for (a, b), want in expected.items():
+            got = kleene_or(Trit.from_char(a), Trit.from_char(b))
+            assert got.to_char() == want, f"OR({a},{b})"
+
+    def test_inverter_table(self):
+        assert kleene_not(ZERO) is ONE
+        assert kleene_not(ONE) is ZERO
+        assert kleene_not(META) is META
+
+
+class TestClosureProperty:
+    """Each gate function equals the closure of its Boolean function."""
+
+    @pytest.mark.parametrize(
+        "gate, boolean",
+        [
+            (kleene_and, lambda a, b: Trit.from_int(a.to_int() & b.to_int())),
+            (kleene_or, lambda a, b: Trit.from_int(a.to_int() | b.to_int())),
+            (kleene_nand, lambda a, b: Trit.from_int(1 - (a.to_int() & b.to_int()))),
+            (kleene_nor, lambda a, b: Trit.from_int(1 - (a.to_int() | b.to_int()))),
+            (kleene_xor, lambda a, b: Trit.from_int(a.to_int() ^ b.to_int())),
+            (kleene_xnor, lambda a, b: Trit.from_int(1 - (a.to_int() ^ b.to_int()))),
+        ],
+    )
+    def test_two_input_gates(self, gate, boolean):
+        for a in ALL_TRITS:
+            for b in ALL_TRITS:
+                assert gate(a, b) is closure_of(boolean, a, b)
+
+    def test_mux_is_weaker_than_closure(self):
+        """The AND/OR mux covers the closure but loses agreeing 1s on sel=M.
+
+        This gap is exactly why naive selection logic breaks containment
+        (paper footnote 2) and why [6]'s cmux adds a consensus term.
+        """
+        def boolean(sel, a, b):
+            return b if sel is ONE else a
+
+        weaker_cases = 0
+        for sel in ALL_TRITS:
+            for a in ALL_TRITS:
+                for b in ALL_TRITS:
+                    got = kleene_mux(sel, a, b)
+                    ideal = closure_of(boolean, sel, a, b)
+                    if got is not ideal:
+                        # only ever weaker: M where the closure is stable
+                        assert got is META and ideal is not META
+                        weaker_cases += 1
+        assert weaker_cases > 0  # the gap is real
+        assert kleene_mux(META, ONE, ONE) is META
+        assert kleene_mux(META, ZERO, ZERO) is ZERO
+
+    def test_aoi21_is_closure(self):
+        def boolean(a, b, c):
+            return Trit.from_int(1 - ((a.to_int() & b.to_int()) | c.to_int()))
+
+        for combo in itertools.product(ALL_TRITS, repeat=3):
+            assert kleene_aoi21(*combo) is closure_of(boolean, *combo)
+
+    def test_oai21_is_closure(self):
+        def boolean(a, b, c):
+            return Trit.from_int(1 - ((a.to_int() | b.to_int()) & c.to_int()))
+
+        for combo in itertools.product(ALL_TRITS, repeat=3):
+            assert kleene_oai21(*combo) is closure_of(boolean, *combo)
+
+
+class TestMaskingBehaviour:
+    """The physical intuition: controlling values suppress metastability."""
+
+    def test_and_masks_meta_with_zero(self):
+        assert kleene_and(ZERO, META) is ZERO
+
+    def test_or_masks_meta_with_one(self):
+        assert kleene_or(ONE, META) is ONE
+
+    def test_xor_never_masks(self):
+        for other in ALL_TRITS:
+            assert kleene_xor(META, other) is META
+
+    def test_plain_mux_forwards_only_agreeing_zeros(self):
+        # With a metastable select, the AND/OR mux keeps 0s stable but
+        # NOT 1s -- containment needs the paper's careful cell structure.
+        assert kleene_mux(META, ZERO, ZERO) is ZERO
+        assert kleene_mux(META, ONE, ONE) is META
+
+
+class TestVariadic:
+    def test_and_many(self):
+        assert kleene_and_many([ONE, ONE, ONE]) is ONE
+        assert kleene_and_many([ONE, META, ZERO]) is ZERO
+        assert kleene_and_many([]) is ONE  # identity
+
+    def test_or_many(self):
+        assert kleene_or_many([ZERO, META, ONE]) is ONE
+        assert kleene_or_many([ZERO, ZERO]) is ZERO
+        assert kleene_or_many([]) is ZERO  # identity

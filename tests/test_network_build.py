@@ -1,0 +1,88 @@
+"""Tests for composing networks with 2-sort circuits (repro.networks.build)."""
+
+import pytest
+
+from repro.circuits.analysis import logic_depth
+from repro.circuits.evaluate import evaluate_words
+from repro.core.two_sort import predicted_gate_count
+from repro.graycode.rgc import gray_decode, gray_encode
+from repro.networks.build import TWO_SORT_BUILDERS, build_sorting_circuit
+from repro.networks.topologies import SORT4, SORT7
+from repro.ternary.word import Word
+from repro.verify.random_valid import ValidStringSource
+
+
+def _run_network_circuit(circuit, words):
+    width = len(words[0])
+    out = evaluate_words(circuit, *words)
+    return [out[i * width : (i + 1) * width] for i in range(len(words))]
+
+
+class TestComposition:
+    def test_gate_count_factorises(self):
+        """Table 8 gate counts are size(network) x gates(2-sort(B))."""
+        for width in (2, 4):
+            c = build_sorting_circuit(SORT4, width)
+            assert c.gate_count() == SORT4.size * predicted_gate_count(width)
+
+    def test_io_shape(self):
+        c = build_sorting_circuit(SORT4, 3)
+        assert len(c.inputs) == 12
+        assert len(c.outputs) == 12
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError, match="unknown 2-sort"):
+            build_sorting_circuit(SORT4, 2, two_sort="quantum")
+
+    def test_registry_contents(self):
+        assert set(TWO_SORT_BUILDERS) == {"this-paper", "date17", "bincomp"}
+
+
+class TestEndToEndSorting:
+    def test_sorts_stable_gray_words(self):
+        width = 3
+        c = build_sorting_circuit(SORT4, width)
+        values = [5, 0, 7, 3]
+        words = [gray_encode(v, width) for v in values]
+        out = _run_network_circuit(c, words)
+        assert [gray_decode(w) for w in out] == sorted(values)
+
+    def test_sorts_with_metastable_input(self):
+        """A superposed value lands between its neighbours."""
+        width = 4
+        c = build_sorting_circuit(SORT4, width)
+        words = [
+            gray_encode(9, width),
+            Word("0M10"),  # rg(3) * rg(4)
+            gray_encode(2, width),
+            gray_encode(12, width),
+        ]
+        out = _run_network_circuit(c, words)
+        assert [str(w) for w in out] == ["0011", "0M10", "1101", "1010"]
+
+    def test_all_designs_agree_on_stable_inputs(self):
+        width = 2
+        values = [3, 1, 0, 2]
+        mc_words = [gray_encode(v, width) for v in values]
+        bin_words = [Word.from_int(v, width) for v in values]
+        got = {}
+        for design in ("this-paper", "date17"):
+            c = build_sorting_circuit(SORT4, width, two_sort=design)
+            got[design] = [gray_decode(w) for w in _run_network_circuit(c, mc_words)]
+        c = build_sorting_circuit(SORT4, width, two_sort="bincomp")
+        got["bincomp"] = [
+            w.to_int() for w in _run_network_circuit(c, bin_words)
+        ]
+        assert got["this-paper"] == got["date17"] == got["bincomp"] == sorted(values)
+
+    def test_seven_sort_random_valid_inputs(self):
+        """7-channel network on random valid strings: gate-level vs rank order."""
+        from repro.graycode.valid import rank
+
+        width = 3
+        c = build_sorting_circuit(SORT7, width)
+        source = ValidStringSource(width, meta_rate=0.4, seed=42)
+        for _ in range(20):
+            words = source.sample_vector(7)
+            out = _run_network_circuit(c, words)
+            assert sorted(rank(w) for w in words) == [rank(w) for w in out]

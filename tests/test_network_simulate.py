@@ -1,0 +1,79 @@
+"""Tests for word-level network simulation (repro.networks.simulate)."""
+
+import pytest
+
+from repro.graycode.rgc import gray_encode
+from repro.graycode.valid import rank
+from repro.networks.properties import check_mc_sort, is_sorted_by_rank, outputs_all_valid
+from repro.networks.simulate import ENGINES, sort_words
+from repro.networks.topologies import SORT4, SORT7, SORT10_SIZE, batcher_odd_even
+from repro.ternary.word import Word
+from repro.verify.random_valid import ValidStringSource
+
+
+class TestEngines:
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"closure", "fsm", "rank", "circuit"}
+
+    def test_unknown_engine(self):
+        with pytest.raises(KeyError, match="unknown simulation engine"):
+            sort_words(SORT4, [Word("00")] * 4, engine="abacus")
+
+    @pytest.mark.parametrize("engine", ["closure", "fsm", "rank", "circuit"])
+    def test_engines_sort_stable(self, engine):
+        width = 3
+        words = [gray_encode(v, width) for v in (6, 1, 4, 0)]
+        out = sort_words(SORT4, words, engine=engine)
+        assert [rank(w) for w in out] == sorted(rank(w) for w in words)
+
+    @pytest.mark.parametrize("engine", ["closure", "fsm", "circuit"])
+    def test_engines_agree_on_metastable(self, engine):
+        width = 4
+        source = ValidStringSource(width, meta_rate=0.6, seed=7)
+        for _ in range(15):
+            words = source.sample_vector(4)
+            baseline = sort_words(SORT4, words, engine="rank")
+            assert sort_words(SORT4, words, engine=engine) == baseline
+
+
+class TestMcSortContract:
+    @pytest.mark.parametrize("net", [SORT4, SORT7, SORT10_SIZE])
+    def test_contract_on_random_vectors(self, net):
+        width = 4
+        source = ValidStringSource(width, meta_rate=0.5, seed=net.channels)
+        for _ in range(10):
+            words = source.sample_vector(net.channels)
+            out = sort_words(net, words, engine="fsm")
+            assert check_mc_sort(words, out) == []
+
+    def test_batcher_with_mc_elements(self):
+        width = 3
+        net = batcher_odd_even(6)
+        source = ValidStringSource(width, meta_rate=0.5, seed=99)
+        for _ in range(10):
+            words = source.sample_vector(6)
+            out = sort_words(net, words, engine="closure")
+            assert outputs_all_valid(out)
+            assert is_sorted_by_rank(out)
+
+
+class TestPropertyHelpers:
+    def test_is_sorted_by_rank(self):
+        assert is_sorted_by_rank([Word("00"), Word("0M"), Word("0M"), Word("01")])
+        assert not is_sorted_by_rank([Word("01"), Word("00")])
+
+    def test_check_mc_sort_detects_width_change(self):
+        probs = check_mc_sort([Word("00")], [Word("00"), Word("01")])
+        assert any("channel count" in p for p in probs)
+
+    def test_check_mc_sort_detects_invalid_output(self):
+        probs = check_mc_sort([Word("00"), Word("01")], [Word("MM"), Word("01")])
+        assert any("not a valid string" in p for p in probs)
+
+    def test_check_mc_sort_detects_unsorted(self):
+        probs = check_mc_sort([Word("00"), Word("01")], [Word("01"), Word("00")])
+        assert any("not ascending" in p for p in probs)
+
+    def test_check_mc_sort_detects_rank_change(self):
+        probs = check_mc_sort([Word("00"), Word("01")], [Word("00"), Word("11")])
+        assert any("rank multiset" in p for p in probs)

@@ -1,0 +1,69 @@
+"""Tests for the out operator and Theorem 4.3 (Tables 4/5)."""
+
+import pytest
+
+from repro.core.diamond import diamond_m
+from repro.core.fsm import output_bits
+from repro.core.functional import prefix_states
+from repro.core.out_op import OUT_TABLE, out, out_m
+from repro.graycode.ops import two_sort_closure
+from repro.graycode.valid import all_valid_strings
+from repro.ternary.word import Word
+
+STABLE2 = [Word(s) for s in ("00", "01", "11", "10")]
+
+
+class TestOutTable:
+    def test_table_is_total(self):
+        assert len(OUT_TABLE) == 16
+
+    def test_matches_table4_semantics(self):
+        """out(s, g_i h_i) == (max_i, min_i) per Table 4 / output_bits."""
+        for s in STABLE2:
+            for b in STABLE2:
+                want = output_bits(s, b.bit(1), b.bit(2))
+                assert out(s, b) == Word(list(want)), (s, b)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            out(Word("0"), Word("00"))
+
+    def test_closure_on_stable_is_out(self):
+        for s in STABLE2:
+            for b in STABLE2:
+                assert out_m(s, b) == out(s, b)
+
+
+class TestClosureCases:
+    """Key metastable cases from the Theorem 4.3 proof."""
+
+    def test_one_bit_base_case(self):
+        # outM(00, Mh)_1 = 1 if h=1 else M
+        assert out_m(Word("00"), Word("M1")).bit(1).to_char() == "1"
+        assert out_m(Word("00"), Word("M0")).bit(1).to_char() == "M"
+
+    def test_case_iii_s_0M_input_0M(self):
+        # outM(0M, 0M)_1 = 0*1*0*1 = M (case (iii) of the proof)
+        assert out_m(Word("0M"), Word("0M")).bit(1).to_char() == "M"
+
+    def test_absorbing_state_10_forwards_g(self):
+        assert out_m(Word("10"), Word("M1")) == Word("M1")
+
+    def test_absorbing_state_01_swaps(self):
+        assert out_m(Word("01"), Word("M1")) == Word("1M")
+
+
+class TestTheorem43:
+    """out_M(s^{(i-1)}_M, g_i h_i) equals the closure max/min bits."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+    def test_decomposition_equals_spec(self, width):
+        strings = all_valid_strings(width)
+        for g in strings:
+            for h in strings:
+                states = prefix_states(g, h, order="serial")
+                want_max, want_min = two_sort_closure(g, h)
+                for i in range(1, width + 1):
+                    pair = out_m(states[i - 1], Word([g.bit(i), h.bit(i)]))
+                    assert pair.bit(1) is want_max.bit(i), (g, h, i)
+                    assert pair.bit(2) is want_min.bit(i), (g, h, i)

@@ -1,0 +1,163 @@
+"""Executable forms of the paper's definitional tables and lemmas.
+
+One test per table/figure/lemma of the paper's Sections 2-3, so the
+reproduction's ground truth is auditable in a single file:
+
+* Table 1 -- 4-bit reflected Gray code
+* Table 2 -- valid inputs and their order
+* Table 3 -- gate behaviour under metastability
+* Table 5 -- the ⋄ and out operator tables
+* Observation 3.1 -- substring structure of the code
+* Lemma 3.2 -- first-difference comparison rule
+* Figure 2 -- the comparison FSM
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.diamond import DIAMOND_TABLE, diamond
+from repro.core.fsm import EQ_EVEN, EQ_ODD, GREATER, LESS, classify
+from repro.core.out_op import OUT_TABLE
+from repro.graycode.rgc import all_codewords, gray_decode, gray_encode, parity
+from repro.graycode.valid import all_valid_strings, try_rank
+from repro.ternary.kleene import kleene_and, kleene_not, kleene_or
+from repro.ternary.trit import Trit
+from repro.ternary.word import Word
+
+
+class TestTable1:
+    PAPER_TABLE_1 = {
+        0: "0000", 1: "0001", 2: "0011", 3: "0010",
+        4: "0110", 5: "0111", 6: "0101", 7: "0100",
+        8: "1100", 9: "1101", 10: "1111", 11: "1110",
+        12: "1010", 13: "1011", 14: "1001", 15: "1000",
+    }
+
+    def test_verbatim(self):
+        for value, codeword in self.PAPER_TABLE_1.items():
+            assert str(gray_encode(value, 4)) == codeword
+
+
+class TestTable2:
+    PAPER_ROWS = [
+        ("0000", 0), ("000M", None), ("0001", 1), ("00M1", None),
+        ("0011", 2), ("001M", None), ("0010", 3), ("0M10", None),
+        ("0110", 4), ("011M", None), ("0111", 5), ("01M1", None),
+        ("0101", 6), ("010M", None), ("0100", 7), ("M100", None),
+        ("1100", 8), ("110M", None), ("1101", 9), ("11M1", None),
+        ("1111", 10), ("111M", None), ("1110", 11), ("1M10", None),
+        ("1010", 12), ("101M", None), ("1011", 13), ("10M1", None),
+        ("1001", 14), ("100M", None), ("1000", 15),
+    ]
+
+    def test_verbatim_with_decoded_values(self):
+        """The table's rows in order; stable rows decode as printed."""
+        enumerated = all_valid_strings(4)
+        assert len(enumerated) == len(self.PAPER_ROWS)
+        for word, (text, value) in zip(enumerated, self.PAPER_ROWS):
+            assert str(word) == text
+            if value is not None:
+                assert gray_decode(word) == value
+            else:
+                assert word.metastable_count == 1
+
+    def test_ranks_ascend(self):
+        ranks = [try_rank(Word(text)) for text, _ in self.PAPER_ROWS]
+        assert ranks == list(range(31))
+
+
+class TestTable3:
+    def test_and_or_inv_closure_tables(self):
+        t = {c: Trit.from_char(c) for c in "01M"}
+        and_rows = {"0": "000", "1": "01M", "M": "0MM"}
+        or_rows = {"0": "01M", "1": "111", "M": "M1M"}
+        for a, row in and_rows.items():
+            for b, want in zip("01M", row):
+                assert kleene_and(t[a], t[b]).to_char() == want
+        for a, row in or_rows.items():
+            for b, want in zip("01M", row):
+                assert kleene_or(t[a], t[b]).to_char() == want
+        assert kleene_not(t["0"]).to_char() == "1"
+        assert kleene_not(t["1"]).to_char() == "0"
+        assert kleene_not(t["M"]).to_char() == "M"
+
+
+class TestTable5:
+    PAPER_DIAMOND = {
+        "00": {"00": "00", "01": "01", "11": "11", "10": "10"},
+        "01": {"00": "01", "01": "01", "11": "01", "10": "01"},
+        "11": {"00": "11", "01": "10", "11": "00", "10": "01"},
+        "10": {"00": "10", "01": "10", "11": "10", "10": "10"},
+    }
+    PAPER_OUT = {
+        "00": {"00": "00", "01": "10", "11": "11", "10": "10"},
+        "01": {"00": "00", "01": "10", "11": "11", "10": "01"},
+        "11": {"00": "00", "01": "01", "11": "11", "10": "01"},
+        "10": {"00": "00", "01": "01", "11": "11", "10": "10"},
+    }
+
+    def test_diamond_verbatim(self):
+        for s, row in self.PAPER_DIAMOND.items():
+            for b, want in row.items():
+                assert DIAMOND_TABLE[(s, b)] == want
+
+    def test_out_verbatim(self):
+        for s, row in self.PAPER_OUT.items():
+            for b, want in row.items():
+                assert OUT_TABLE[(s, b)] == want
+
+
+class TestObservation31:
+    def test_substring_lists_count_up_and_down(self):
+        """Dropping prefixes/suffixes leaves alternating up/down counts of
+        the shorter code."""
+        width = 5
+        for i, j in [(2, 5), (1, 4), (2, 4), (3, 5)]:
+            sub_width = j - i + 1
+            seq = [g.substring(i, j) for g in all_codewords(width)]
+            deduped = [seq[0]]
+            for w in seq[1:]:
+                if w != deduped[-1]:
+                    deduped.append(w)
+            codes = all_codewords(sub_width)
+            ascending = [gray_decode(w) for w in codes]
+            # walk deduped and check it zigzags 0..N-1, N-1..0, ...
+            values = [gray_decode(w) for w in deduped]
+            n = 1 << sub_width
+            direction = 1
+            expect = 0
+            for v in values:
+                assert v == expect, (i, j, values)
+                if (expect == n - 1 and direction == 1) or (
+                    expect == 0 and direction == -1
+                ):
+                    direction = -direction
+                expect += direction
+            # (each codeword is a valid sub-codeword by construction)
+
+    def test_decomposition_identity(self):
+        """<g> = 2<g_{1,B-1}> + XOR(par(g_{1,B-1}), g_B) (Obs. 3.1 proof)."""
+        width = 5
+        for x in range(1 << width):
+            g = gray_encode(x, width)
+            prefix = g.substring(1, width - 1)
+            expected = 2 * gray_decode(prefix) + (
+                parity(prefix) ^ g.bit(width).to_int()
+            )
+            assert expected == x
+
+
+class TestFigure2:
+    def test_fsm_decides_like_decoder(self):
+        width = 4
+        for x in range(1 << width):
+            for y in range(1 << width):
+                g, h = gray_encode(x, width), gray_encode(y, width)
+                state = classify(g, h)
+                if x > y:
+                    assert state == GREATER
+                elif x < y:
+                    assert state == LESS
+                else:
+                    assert state == (EQ_ODD if x % 2 else EQ_EVEN)

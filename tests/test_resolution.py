@@ -1,0 +1,121 @@
+"""Tests for resolution / superposition / closure (Defs 2.1, 2.5, 2.7)."""
+
+import pytest
+
+from repro.ternary.resolution import (
+    all_stable_words,
+    all_words,
+    covers,
+    metastable_closure,
+    metastable_closure_multi,
+    resolution_count,
+    resolutions,
+    superpose,
+)
+from repro.ternary.word import Word
+
+
+class TestResolutions:
+    def test_stable_word_is_fixed_point(self):
+        w = Word("0110")
+        assert resolutions(w) == [w]
+
+    def test_single_m_two_resolutions(self):
+        rs = set(resolutions(Word("0M")))
+        assert rs == {Word("00"), Word("01")}
+
+    def test_all_ms_full_cube(self):
+        rs = set(resolutions(Word("MM")))
+        assert rs == {Word("00"), Word("01"), Word("10"), Word("11")}
+
+    def test_resolution_count(self):
+        assert resolution_count(Word("0110")) == 1
+        assert resolution_count(Word("MM0M")) == 8
+        assert all(
+            resolution_count(w) == len(resolutions(w)) for w in all_words(3)
+        )
+
+
+class TestSuperpose:
+    def test_single_element(self):
+        assert superpose([Word("01")]) == Word("01")
+
+    def test_pairwise_disagreement(self):
+        assert superpose([Word("00"), Word("01"), Word("11")]) == Word("MM")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            superpose([])
+
+    def test_observation_2_6_star_res_identity(self):
+        """∗ res(x) = x for every x (Observation 2.6)."""
+        for w in all_words(3):
+            assert superpose(resolutions(w)) == w
+
+    def test_observation_2_6_subset(self):
+        """S ⊆ res(∗S) for arbitrary S (Observation 2.6)."""
+        sets = [
+            [Word("010"), Word("011")],
+            [Word("000"), Word("111")],
+            [Word("0M0"), Word("010")],
+        ]
+        for s in sets:
+            sup = superpose(s)
+            res_set = set(resolutions(sup))
+            for member in s:
+                # each stable resolution of a member must be in res(∗S)
+                for r in resolutions(member):
+                    assert r in res_set
+
+
+class TestCovers:
+    def test_wildcard_covers_both(self):
+        assert covers(Word("0M"), Word("00"))
+        assert covers(Word("0M"), Word("01"))
+        assert not covers(Word("0M"), Word("10"))
+
+    def test_width_mismatch_is_false(self):
+        assert not covers(Word("0M"), Word("001"))
+
+
+class TestClosure:
+    def test_closure_of_identity(self):
+        ident = metastable_closure(lambda x: x)
+        for w in all_words(2):
+            assert ident(w) == w
+
+    def test_closure_of_constant(self):
+        const = metastable_closure(lambda x: Word("1"))
+        assert const(Word("M")) == Word("1")
+
+    def test_closure_masks_when_output_agrees(self):
+        # f(x) = AND of bits; closure of ("0M") must be 0.
+        def f(x):
+            return Word([min(t.to_int() for t in x)])
+
+        f_m = metastable_closure(f)
+        assert f_m(Word("0M")) == Word("0")
+        assert f_m(Word("1M")) == Word("M")
+
+    def test_multi_output_closure(self):
+        def sort2(a, b):
+            return (a, b) if a.to_int() >= b.to_int() else (b, a)
+
+        s_m = metastable_closure_multi(sort2, arity_out=2)
+        hi, lo = s_m(Word("0M"), Word("00"))
+        assert (hi, lo) == (Word("0M"), Word("00"))
+
+    def test_multi_output_arity_check(self):
+        bad = metastable_closure_multi(lambda a: (a,), arity_out=2)
+        with pytest.raises(ValueError):
+            bad(Word("0"))
+
+
+class TestEnumerators:
+    def test_all_words_count(self):
+        assert len(all_words(3)) == 27
+
+    def test_all_stable_words_count(self):
+        ws = all_stable_words(4)
+        assert len(ws) == 16
+        assert all(w.is_stable for w in ws)

@@ -1,0 +1,127 @@
+"""Tests for repro.graycode.rgc -- code structure, Lemma 3.2, Obs. 3.1."""
+
+import pytest
+
+from repro.graycode.rgc import (
+    all_codewords,
+    first_difference,
+    gray_decode,
+    gray_encode,
+    gray_encode_recursive,
+    lemma_3_2_predicts,
+    max_rg,
+    min_rg,
+    parity,
+    successor_differs_at,
+    two_sort_stable,
+)
+from repro.ternary.word import Word
+
+
+class TestEncoding:
+    def test_table1_four_bit_code(self):
+        """The exact 4-bit code of paper Table 1."""
+        expected = [
+            "0000", "0001", "0011", "0010", "0110", "0111", "0101", "0100",
+            "1100", "1101", "1111", "1110", "1010", "1011", "1001", "1000",
+        ]
+        assert [str(gray_encode(x, 4)) for x in range(16)] == expected
+
+    def test_one_bit_base_case(self):
+        assert str(gray_encode(0, 1)) == "0"
+        assert str(gray_encode(1, 1)) == "1"
+
+    def test_fast_matches_recursive_definition(self):
+        for width in (1, 2, 3, 4, 5, 6):
+            for x in range(1 << width):
+                assert gray_encode(x, width) == gray_encode_recursive(x, width)
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            gray_encode(4, 2)
+        with pytest.raises(ValueError):
+            gray_encode(-1, 3)
+        with pytest.raises(ValueError):
+            gray_encode(0, 0)
+
+    def test_bijection(self):
+        for width in (1, 3, 5, 8):
+            seen = {gray_encode(x, width) for x in range(1 << width)}
+            assert len(seen) == 1 << width
+
+
+class TestDecoding:
+    def test_round_trip(self):
+        for width in (1, 2, 4, 7, 10):
+            for x in range(0, 1 << width, max(1, (1 << width) // 64)):
+                assert gray_decode(gray_encode(x, width)) == x
+
+    def test_decode_rejects_metastable(self):
+        with pytest.raises(ValueError):
+            gray_decode(Word("0M"))
+
+
+class TestAdjacency:
+    def test_adjacent_codewords_differ_in_one_bit(self):
+        for width in (2, 3, 4, 5):
+            for x in range((1 << width) - 1):
+                g0, g1 = gray_encode(x, width), gray_encode(x + 1, width)
+                diff = sum(1 for a, b in zip(g0, g1) if a is not b)
+                assert diff == 1
+
+    def test_successor_differs_at(self):
+        # From Table 1: rg(1)=0001, rg(2)=0011 differ at bit 3 (1-based).
+        assert successor_differs_at(1, 4) == 3
+        assert successor_differs_at(0, 4) == 4
+
+    def test_successor_range(self):
+        with pytest.raises(ValueError):
+            successor_differs_at(3, 2)
+
+    def test_parity_equals_value_mod_2(self):
+        """par(rg(x)) == x mod 2: one bit flips per increment."""
+        for width in (1, 3, 5):
+            for x in range(1 << width):
+                assert parity(gray_encode(x, width)) == x % 2
+
+
+class TestLemma32:
+    def test_lemma_predicts_all_comparisons(self):
+        """Lemma 3.2: the first differing bit + prefix parity decide."""
+        width = 5
+        for x in range(1 << width):
+            for y in range(1 << width):
+                g, h = gray_encode(x, width), gray_encode(y, width)
+                want = (x > y) - (x < y)
+                assert lemma_3_2_predicts(g, h) == want
+
+    def test_first_difference(self):
+        assert first_difference(Word("0110"), Word("0100")) == 3
+        assert first_difference(Word("01"), Word("01")) == 0
+
+    def test_first_difference_width_check(self):
+        with pytest.raises(ValueError):
+            first_difference(Word("0"), Word("01"))
+
+
+class TestStableMaxMin:
+    def test_max_min_by_value(self):
+        g, h = gray_encode(9, 4), gray_encode(12, 4)
+        assert max_rg(g, h) == h
+        assert min_rg(g, h) == g
+
+    def test_two_sort_stable_orders(self):
+        g, h = gray_encode(15, 4), gray_encode(14, 4)
+        assert two_sort_stable(g, h) == (g, h)
+        assert two_sort_stable(h, g) == (g, h)
+
+    def test_paper_example_1001_vs_1000(self):
+        """max_rg{1001, 1000} = 1000 = rg(15) (Section 2 example)."""
+        assert max_rg(Word("1001"), Word("1000")) == Word("1000")
+
+
+class TestEnumeration:
+    def test_all_codewords_order(self):
+        words = all_codewords(3)
+        assert len(words) == 8
+        assert [gray_decode(w) for w in words] == list(range(8))

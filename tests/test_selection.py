@@ -1,0 +1,85 @@
+"""Tests for the gate-level selection cells (paper Fig. 3 / Table 6).
+
+The decisive property (paper footnote 2): these specific formulas
+compute the *metastable closure* of their operators gate-by-gate.  We
+check that exhaustively over all 3^4 operand combinations.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits.evaluate import evaluate_words
+from repro.circuits.analysis import logic_depth
+from repro.core.diamond import diamond_hat_m
+from repro.core.out_op import out_m
+from repro.core.selection import diamond_hat_circuit, out_circuit
+from repro.ternary.trit import Trit
+from repro.ternary.word import Word
+
+ALL2 = [Word(a + b) for a in "01M" for b in "01M"]
+
+
+class TestDiamondHatCell:
+    def test_cost_and_shape(self):
+        c = diamond_hat_circuit()
+        assert c.gate_count() == 10
+        assert c.gate_histogram() == {"AND2": 4, "OR2": 4, "INV": 2}
+        assert logic_depth(c) == 3
+        assert c.is_mc_safe()
+
+    def test_computes_closure_exhaustively(self):
+        """Cell == ⋄̂_M on all 81 operand pairs -- not just valid ones."""
+        c = diamond_hat_circuit()
+        for x in ALL2:
+            for y in ALL2:
+                got = evaluate_words(c, x, y)
+                assert got == diamond_hat_m(x, y), (x, y)
+
+    def test_footnote2_would_fail_here(self):
+        """The naive formula the paper warns about is weaker on (10, M0).
+
+        (s ⋄ b)_1 via (s̄1 + b1)(s̄2 + b̄1) outputs M for s=10, b=M0; the
+        correct cells output the closure value.  We reproduce the gap.
+        """
+        from repro.ternary.kleene import kleene_and, kleene_not, kleene_or
+
+        s, b = Word("10"), Word("M0")
+        s1, s2, b1 = s.bit(1), s.bit(2), b.bit(1)
+        naive = kleene_and(
+            kleene_or(kleene_not(s1), b1),
+            kleene_or(kleene_not(s2), kleene_not(b1)),
+        )
+        assert naive is Trit.META  # the broken formula
+        # closure of (s ⋄ b)_1 is stable 1 -> N-domain first bit is 0:
+        from repro.core.diamond import diamond_m
+
+        assert diamond_m(s, b) == Word("10")
+
+
+class TestOutCell:
+    def test_cost_and_shape(self):
+        c = out_circuit()
+        assert c.gate_count() == 10
+        assert c.gate_histogram() == {"AND2": 4, "OR2": 4, "INV": 2}
+        assert logic_depth(c) == 3
+        assert c.is_mc_safe()
+
+    def test_computes_closure_exhaustively(self):
+        """Cell(Ns, b) == out_M(s, b) on all 81 operand pairs."""
+        from repro.core.diamond import n_transform
+
+        c = out_circuit()
+        for s in ALL2:
+            for b in ALL2:
+                got = evaluate_words(c, n_transform(s), b)
+                assert got == out_m(s, b), (s, b)
+
+    def test_initial_cell_reduction(self):
+        """With Ns^(0) = (1, 0), out_M degenerates to (OR, AND)."""
+        from repro.ternary.kleene import kleene_and, kleene_or
+
+        for b in ALL2:
+            want = out_m(Word("00"), b)
+            assert want.bit(1) is kleene_or(b.bit(1), b.bit(2))
+            assert want.bit(2) is kleene_and(b.bit(1), b.bit(2))

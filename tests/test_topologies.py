@@ -1,0 +1,117 @@
+"""Tests for sorting-network topologies and structure."""
+
+import pytest
+
+from repro.networks.comparator import Comparator, SortingNetwork, from_comparator_list
+from repro.networks.properties import sorts_binary, zero_one_counterexample
+from repro.networks.topologies import (
+    SORT4,
+    SORT7,
+    SORT10_DEPTH,
+    SORT10_SIZE,
+    TABLE8_NETWORKS,
+    batcher_odd_even,
+    best_known,
+    bitonic,
+    insertion,
+)
+
+
+class TestComparator:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            Comparator(3, 3)
+        with pytest.raises(ValueError):
+            Comparator(4, 2)
+
+    def test_touches(self):
+        assert Comparator(0, 1).touches(Comparator(1, 2))
+        assert not Comparator(0, 1).touches(Comparator(2, 3))
+
+
+class TestSortingNetworkStructure:
+    def test_layer_disjointness_enforced(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            SortingNetwork(3, [[(0, 1), (1, 2)]])
+
+    def test_channel_bounds_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            SortingNetwork(2, [[(0, 2)]])
+
+    def test_size_depth(self):
+        assert SORT4.size == 5 and SORT4.depth == 3
+
+    def test_apply_width_check(self):
+        with pytest.raises(ValueError):
+            SORT4.apply([1, 2, 3])
+
+    def test_apply_with_custom_two_sort(self):
+        # reverse sorting by swapping the comparator contract
+        out = SORT4.apply([3, 1, 2, 0], two_sort=lambda a, b: (min(a, b), max(a, b)))
+        assert out == [3, 2, 1, 0]
+
+    def test_from_comparator_list_asap_layering(self):
+        net = from_comparator_list(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)])
+        assert net.depth == 3
+        assert net.size == 5
+        assert sorts_binary(net)
+
+
+class TestPaperNetworks:
+    """The four Table 8 topologies: exact size/depth, and they sort."""
+
+    @pytest.mark.parametrize(
+        "net, size, depth",
+        [
+            (SORT4, 5, 3),
+            (SORT7, 16, 6),
+            (SORT10_SIZE, 29, 8),
+            (SORT10_DEPTH, 31, 7),
+        ],
+    )
+    def test_size_depth_and_sorting(self, net, size, depth):
+        assert net.size == size
+        assert net.depth == depth
+        assert zero_one_counterexample(net) is None
+
+    def test_registry(self):
+        assert set(TABLE8_NETWORKS) == {"4-sort", "7-sort", "10-sort#", "10-sortd"}
+
+    def test_optimality_relation(self):
+        """10-sortd trades comparators for depth vs 10-sort#."""
+        assert SORT10_DEPTH.depth < SORT10_SIZE.depth
+        assert SORT10_DEPTH.size > SORT10_SIZE.size
+
+
+class TestGenericConstructions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 8, 10, 12])
+    def test_batcher_sorts(self, n):
+        assert sorts_binary(batcher_odd_even(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_bitonic_sorts(self, n):
+        assert sorts_binary(bitonic(n))
+
+    def test_bitonic_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            bitonic(6)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_insertion_sorts(self, n):
+        assert sorts_binary(insertion(n))
+
+    def test_insertion_size(self):
+        assert insertion(6).size == 15  # n(n-1)/2
+
+    def test_batcher_beats_insertion(self):
+        assert batcher_odd_even(10).size < insertion(10).size
+
+    def test_best_known_prefers_fixed(self):
+        assert best_known(4) is SORT4
+        assert best_known(10) is SORT10_SIZE
+        assert best_known(6).name.startswith("batcher")
+
+    def test_constructions_reject_zero(self):
+        for fn in (batcher_odd_even, insertion):
+            with pytest.raises(ValueError):
+                fn(0)

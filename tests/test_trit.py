@@ -1,0 +1,91 @@
+"""Unit tests for repro.ternary.trit."""
+
+import pytest
+
+from repro.ternary.trit import ALL_TRITS, META, ONE, ZERO, Trit, trit
+
+
+class TestConstruction:
+    def test_from_char(self):
+        assert Trit.from_char("0") is ZERO
+        assert Trit.from_char("1") is ONE
+        assert Trit.from_char("M") is META
+        assert Trit.from_char("m") is META
+
+    def test_from_char_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Trit.from_char("2")
+        with pytest.raises(ValueError):
+            Trit.from_char("")
+
+    def test_from_int(self):
+        assert Trit.from_int(0) is ZERO
+        assert Trit.from_int(1) is ONE
+
+    def test_from_int_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Trit.from_int(2)
+        with pytest.raises(ValueError):
+            Trit.from_int(-1)
+
+    def test_coerce_identity(self):
+        for t in ALL_TRITS:
+            assert Trit.coerce(t) is t
+
+    def test_coerce_bool(self):
+        assert Trit.coerce(True) is ONE
+        assert Trit.coerce(False) is ZERO
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(TypeError):
+            Trit.coerce(1.0)
+
+    def test_functional_alias(self):
+        assert trit("M") is META
+
+
+class TestPredicates:
+    def test_stability(self):
+        assert ZERO.is_stable and ONE.is_stable
+        assert not META.is_stable
+        assert META.is_metastable
+        assert not ZERO.is_metastable
+
+
+class TestConversions:
+    def test_round_trip_int(self):
+        assert ZERO.to_int() == 0
+        assert ONE.to_int() == 1
+
+    def test_meta_to_int_raises(self):
+        with pytest.raises(ValueError):
+            META.to_int()
+
+    def test_to_char(self):
+        assert [t.to_char() for t in ALL_TRITS] == ["0", "1", "M"]
+
+    def test_str(self):
+        assert str(META) == "M"
+
+
+class TestResolutions:
+    def test_stable_resolves_to_self(self):
+        assert tuple(ZERO.resolutions()) == (ZERO,)
+        assert tuple(ONE.resolutions()) == (ONE,)
+
+    def test_meta_resolves_to_both_rails(self):
+        assert tuple(META.resolutions()) == (ZERO, ONE)
+
+
+class TestSuperpose:
+    def test_equal_values_survive(self):
+        for t in ALL_TRITS:
+            assert t.superpose(t) is t
+
+    def test_disagreement_gives_meta(self):
+        assert ZERO.superpose(ONE) is META
+        assert ONE.superpose(ZERO) is META
+
+    def test_meta_absorbs(self):
+        assert META.superpose(ZERO) is META
+        assert ONE.superpose(META) is META

@@ -1,0 +1,131 @@
+"""Tests for repro.graycode.valid -- S^B_rg and the Table 2 order."""
+
+import pytest
+
+from repro.graycode.rgc import gray_encode
+from repro.graycode.valid import (
+    InvalidStringError,
+    all_valid_strings,
+    count_valid_strings,
+    from_rank,
+    is_valid,
+    make_valid,
+    rank,
+    try_rank,
+    validate,
+    value_interval,
+)
+from repro.ternary.word import Word
+
+
+class TestTable2:
+    """The 4-bit valid-input table of the paper, verbatim."""
+
+    EXPECTED = [
+        "0000", "000M", "0001", "00M1", "0011", "001M", "0010", "0M10",
+        "0110", "011M", "0111", "01M1", "0101", "010M", "0100", "M100",
+        "1100", "110M", "1101", "11M1", "1111", "111M", "1110", "1M10",
+        "1010", "101M", "1011", "10M1", "1001", "100M", "1000",
+    ]
+
+    def test_enumeration_matches_table2(self):
+        assert [str(w) for w in all_valid_strings(4)] == self.EXPECTED
+
+    def test_count(self):
+        assert count_valid_strings(4) == 31
+        assert len(all_valid_strings(4)) == 31
+
+    def test_counts_per_width(self):
+        for width in (1, 2, 3, 5, 6):
+            assert len(all_valid_strings(width)) == (1 << (width + 1)) - 1
+
+
+class TestMembership:
+    def test_all_codewords_are_valid(self):
+        for x in range(16):
+            assert is_valid(gray_encode(x, 4))
+
+    def test_adjacent_superpositions_are_valid(self):
+        for x in range(15):
+            assert is_valid(make_valid(x, 4, metastable=True))
+
+    def test_two_ms_invalid(self):
+        assert not is_valid(Word("0MM0"))
+
+    def test_non_adjacent_m_invalid(self):
+        # 0M01: resolutions 0001 (1) and 0101 (6) -- not adjacent.
+        assert not is_valid(Word("0M01"))
+
+    def test_mm_only_string_invalid(self):
+        assert not is_valid(Word("MM"))
+
+    def test_single_bit_m_is_valid(self):
+        # width 1: M = rg(0) * rg(1) is a valid string.
+        assert is_valid(Word("M"))
+
+
+class TestRankOrder:
+    def test_rank_round_trip(self):
+        for width in (1, 2, 3, 4):
+            for r in range(count_valid_strings(width)):
+                assert rank(from_rank(r, width)) == r
+
+    def test_stable_rank_is_twice_value(self):
+        assert rank(gray_encode(5, 4)) == 10
+
+    def test_superposed_rank_is_odd(self):
+        assert rank(make_valid(5, 4, metastable=True)) == 11
+
+    def test_rank_rejects_invalid(self):
+        with pytest.raises(InvalidStringError):
+            rank(Word("0MM0"))
+
+    def test_try_rank_returns_none(self):
+        assert try_rank(Word("MM")) is None
+
+    def test_from_rank_bounds(self):
+        with pytest.raises(ValueError):
+            from_rank(-1, 3)
+        with pytest.raises(ValueError):
+            from_rank(15, 3)
+
+    def test_order_is_table2_order(self):
+        """Ascending rank must walk Table 2 top to bottom."""
+        words = all_valid_strings(4)
+        assert sorted(words, key=rank) == words
+
+
+class TestValueInterval:
+    def test_stable_interval_is_point(self):
+        assert value_interval(gray_encode(3, 4)) == (3, 3)
+
+    def test_superposed_interval_spans_two(self):
+        assert value_interval(Word("0M10")) == (3, 4)
+
+    def test_paper_example_0M10(self):
+        """0M10 = rg(3) * rg(4) (between values 3 and 4)."""
+        assert Word("0010") * Word("0110") == Word("0M10")
+        assert value_interval(Word("0M10")) == (3, 4)
+
+
+class TestMakeValidate:
+    def test_make_valid_range_check(self):
+        with pytest.raises(ValueError):
+            make_valid(3, 2, metastable=True)  # rg(4) doesn't exist
+
+    def test_validate_passthrough(self):
+        w = Word("011M")
+        assert validate(w) is w
+
+    def test_validate_raises(self):
+        with pytest.raises(InvalidStringError):
+            validate(Word("M0M0"))
+
+
+class TestObservation24:
+    def test_substrings_of_valid_are_valid(self):
+        """Observation 2.4: g_{i,j} of a valid string is valid."""
+        for w in all_valid_strings(5):
+            for i in range(1, 6):
+                for j in range(i, 6):
+                    assert is_valid(w.substring(i, j)), (w, i, j)

@@ -1,0 +1,102 @@
+"""Tests for repro.verify (exhaustive sweeps and random workloads)."""
+
+import pytest
+
+from repro.core.two_sort import build_two_sort
+from repro.graycode.valid import is_valid, rank
+from repro.ternary.word import Word
+from repro.verify.exhaustive import (
+    VerificationResult,
+    valid_pairs,
+    verify_containment,
+    verify_two_sort_circuit,
+)
+from repro.verify.random_valid import ValidStringSource, measurement_sweep
+
+
+class TestVerificationResult:
+    def test_empty_is_ok(self):
+        assert VerificationResult().ok
+
+    def test_record_counts_beyond_limit(self):
+        r = VerificationResult()
+        for i in range(30):
+            r.record(f"failure {i}", limit=5)
+        assert r.failure_count == 30
+        assert len(r.failures) == 5
+        assert "30 FAILURES" in r.summary()
+
+    def test_summary_ok(self):
+        r = VerificationResult(checked=10)
+        assert "OK" in r.summary()
+
+
+class TestExhaustive:
+    def test_valid_pairs_count(self):
+        assert sum(1 for _ in valid_pairs(3)) == 15 * 15
+
+    def test_verify_good_circuit(self):
+        result = verify_two_sort_circuit(build_two_sort(2), 2)
+        assert result.ok and result.checked == 49
+
+    def test_verify_catches_broken_circuit(self):
+        """A circuit with swapped outputs must be flagged."""
+        from repro.circuits.netlist import Circuit
+
+        good = build_two_sort(2)
+        broken = Circuit("broken")
+        ins = [broken.add_input(n) for n in good.inputs]
+        outs = broken.instantiate(good, ins)
+        # swap max and min busses
+        broken.add_outputs(outs[2:] + outs[:2])
+        result = verify_two_sort_circuit(broken, 2)
+        assert not result.ok
+        assert result.failure_count > 0
+
+    def test_containment_weaker_than_equality(self):
+        result = verify_containment(build_two_sort(3), 3)
+        assert result.ok
+
+
+class TestValidStringSource:
+    def test_samples_are_valid(self):
+        src = ValidStringSource(4, meta_rate=0.5, seed=1)
+        for _ in range(200):
+            assert is_valid(src.sample())
+
+    def test_meta_rate_zero_gives_stable(self):
+        src = ValidStringSource(4, meta_rate=0.0, seed=2)
+        assert all(src.sample().is_stable for _ in range(100))
+
+    def test_meta_rate_one_gives_superposed(self):
+        src = ValidStringSource(4, meta_rate=1.0, seed=3)
+        assert all(src.sample().metastable_count == 1 for _ in range(100))
+
+    def test_meta_rate_bounds(self):
+        with pytest.raises(ValueError):
+            ValidStringSource(4, meta_rate=1.5)
+
+    def test_deterministic_by_seed(self):
+        a = ValidStringSource(4, seed=7)
+        b = ValidStringSource(4, seed=7)
+        assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]
+
+    def test_pair_and_vector(self):
+        src = ValidStringSource(3, seed=5)
+        g, h = src.sample_pair()
+        assert len(g) == len(h) == 3
+        vec = src.sample_vector(7)
+        assert len(vec) == 7
+
+    def test_uniform_rank_covers_superpositions(self):
+        src = ValidStringSource(2, seed=11)
+        ranks = {rank(src.sample_uniform_rank()) for _ in range(300)}
+        assert ranks == set(range(7))  # all 7 valid strings of width 2
+
+
+class TestMeasurementSweep:
+    def test_shape_and_reproducibility(self):
+        a = measurement_sweep(3, channels=4, vectors=5, seed=9)
+        b = measurement_sweep(3, channels=4, vectors=5, seed=9)
+        assert a == b
+        assert len(a) == 5 and all(len(v) == 4 for v in a)

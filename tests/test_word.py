@@ -1,0 +1,126 @@
+"""Unit tests for repro.ternary.word."""
+
+import pytest
+
+from repro.ternary.trit import META, ONE, ZERO, Trit
+from repro.ternary.word import Word, word
+
+
+class TestConstruction:
+    def test_from_string(self):
+        w = Word("01M")
+        assert len(w) == 3
+        assert w[0] is ZERO and w[1] is ONE and w[2] is META
+
+    def test_from_iterable(self):
+        assert str(Word([0, 1, "M", True])) == "01M1"
+
+    def test_copy_constructor(self):
+        w = Word("0M")
+        assert Word(w) == w
+
+    def test_zeros_ones(self):
+        assert str(Word.zeros(3)) == "000"
+        assert str(Word.ones(2)) == "11"
+
+    def test_from_int_msb_first(self):
+        assert str(Word.from_int(5, 4)) == "0101"
+        assert str(Word.from_int(0, 2)) == "00"
+
+    def test_from_int_range_check(self):
+        with pytest.raises(ValueError):
+            Word.from_int(4, 2)
+        with pytest.raises(ValueError):
+            Word.from_int(-1, 2)
+
+    def test_functional_alias(self):
+        assert word("10") == Word("10")
+
+
+class TestPaperIndexing:
+    """1-based bit/substring access matching the paper's g_1..g_B."""
+
+    def test_bit_one_based(self):
+        w = Word("0M10")
+        assert w.bit(1) is ZERO
+        assert w.bit(2) is META
+        assert w.bit(4) is ZERO
+
+    def test_bit_out_of_range(self):
+        w = Word("01")
+        with pytest.raises(IndexError):
+            w.bit(0)
+        with pytest.raises(IndexError):
+            w.bit(3)
+
+    def test_substring_inclusive(self):
+        w = Word("0M10")
+        assert w.substring(2, 3) == Word("M1")
+        assert w.substring(1, 4) == w
+
+    def test_substring_bounds(self):
+        with pytest.raises(IndexError):
+            Word("01").substring(2, 1)
+
+
+class TestMeasures:
+    def test_stability(self):
+        assert Word("0110").is_stable
+        assert not Word("01M0").is_stable
+
+    def test_metastable_count_and_positions(self):
+        w = Word("M01M")
+        assert w.metastable_count == 2
+        assert w.metastable_positions() == (1, 4)
+
+    def test_parity_stable(self):
+        assert Word("0110").parity() is ZERO
+        assert Word("0100").parity() is ONE
+
+    def test_parity_metastable(self):
+        assert Word("01M0").parity() is META
+
+
+class TestAlgebra:
+    def test_superpose_definition_2_1(self):
+        # The paper's example family: rg(x) * rg(x+1) differs in one bit.
+        assert Word("0010").superpose(Word("0110")) == Word("0M10")
+
+    def test_superpose_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Word("01") * Word("011")
+
+    def test_mul_operator(self):
+        assert Word("00") * Word("01") == Word("0M")
+
+    def test_concat(self):
+        assert Word("0").concat(Word("1M")) == Word("01M")
+
+    def test_invert(self):
+        assert Word("01M").invert() == Word("10M")
+
+    def test_replace_bit(self):
+        assert Word("000").replace_bit(2, "M") == Word("0M0")
+
+    def test_replace_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Word("0").replace_bit(2, 1)
+
+
+class TestEqualityHash:
+    def test_string_comparison(self):
+        assert Word("0M") == "0M"
+        assert Word("0M") != "00"
+
+    def test_hashable(self):
+        assert len({Word("01"), Word("01"), Word("0M")}) == 2
+
+    def test_to_int_round_trip(self):
+        assert Word.from_int(11, 4).to_int() == 11
+
+    def test_to_int_rejects_meta(self):
+        with pytest.raises(ValueError):
+            Word("1M").to_int()
+
+    def test_repr_parsable(self):
+        assert repr(Word("0M1")) == "Word('0M1')"
