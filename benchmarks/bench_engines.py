@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Scalar vs bit-parallel engine throughput; writes ``BENCH_engines.json``.
+
+Measures the two workloads the compiled two-plane engine
+(:mod:`repro.circuits.compiled`) was built for and records the speedup
+trajectory so regressions are visible across PRs:
+
+1. **Exhaustive two-sort verification** -- all ``|S^B_rg|^2`` valid
+   pairs through the paper's ``2-sort(B)`` netlist.
+
+   * scalar: the reference one-trit-per-net interpreter
+     (:func:`repro.circuits.evaluate.evaluate_interpreted`) per pair,
+     each output compared against the Table 2 order spec.  The full
+     domain takes ~a minute at B = 8, so the scalar side is timed on a
+     deterministic sample of pairs and its full-domain time is
+     extrapolated from the measured per-pair rate (reported as such).
+   * compiled: :func:`repro.verify.exhaustive.verify_two_sort_circuit`,
+     which runs the *entire* domain in plane space -- measured for
+     real, no extrapolation.
+
+2. **Sorting-network simulation** -- a seeded measurement workload
+   through the 10-channel size-optimal network: per-vector gate-level
+   engine (``sort_words(engine="circuit")``) vs the batched compiled
+   path (``sort_words_batch``).
+
+Throughput is reported in **gate-visits per second** (gates x vectors /
+time), the metric that is invariant to circuit size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py            # full (B=8)
+    PYTHONPATH=src python benchmarks/bench_engines.py --quick    # CI smoke (B=5)
+
+The JSON artifact lands at the repository root (``BENCH_engines.json``)
+unless ``--output`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuits.compiled import compile_circuit  # noqa: E402
+from repro.circuits.evaluate import evaluate_interpreted  # noqa: E402
+from repro.core.two_sort import build_two_sort  # noqa: E402
+from repro.graycode.ops import two_sort_order  # noqa: E402
+from repro.graycode.valid import all_valid_strings  # noqa: E402
+from repro.networks.simulate import sort_words, sort_words_batch  # noqa: E402
+from repro.networks.topologies import SORT10_SIZE  # noqa: E402
+from repro.ternary.word import Word  # noqa: E402
+from repro.verify.exhaustive import verify_two_sort_circuit  # noqa: E402
+from repro.verify.random_valid import measurement_sweep  # noqa: E402
+
+
+def bench_exhaustive_verification(width: int, scalar_sample: int) -> dict:
+    """Scalar (sampled + extrapolated) vs compiled (full domain)."""
+    circuit = build_two_sort(width)
+    gates = circuit.gate_count()
+    strings = all_valid_strings(width)
+    total_pairs = len(strings) ** 2
+
+    # Deterministic sample: stride through the pair domain.
+    sample = min(scalar_sample, total_pairs)
+    stride = max(1, total_pairs // sample)
+    indices = range(0, total_pairs, stride)
+    inputs_of = circuit.inputs
+    t0 = time.perf_counter()
+    checked = 0
+    for idx in indices:
+        g = strings[idx // len(strings)]
+        h = strings[idx % len(strings)]
+        values = evaluate_interpreted(
+            circuit, dict(zip(inputs_of, list(g) + list(h)))
+        )
+        out = Word([values[n] for n in circuit.outputs])
+        want = two_sort_order(g, h)
+        assert (out[:width], out[width:]) == want, (g, h)
+        checked += 1
+    scalar_time = time.perf_counter() - t0
+    scalar_rate = checked / scalar_time
+    scalar_full_time = total_pairs / scalar_rate
+
+    # Compiled: the real thing, full domain, warm compile cache excluded
+    # from the first timing by compiling up front.
+    compile_circuit(circuit)
+    t0 = time.perf_counter()
+    result = verify_two_sort_circuit(circuit, width)
+    compiled_time = time.perf_counter() - t0
+    assert result.ok and result.checked == total_pairs, result.summary()
+
+    return {
+        "width": width,
+        "gates": gates,
+        "pairs": total_pairs,
+        "scalar": {
+            "pairs_measured": checked,
+            "sampled": checked < total_pairs,
+            "time_s": round(scalar_time, 4),
+            "full_domain_time_s_extrapolated": round(scalar_full_time, 2),
+            "pairs_per_s": round(scalar_rate, 1),
+            "gate_visits_per_s": round(scalar_rate * gates, 1),
+        },
+        "compiled": {
+            "pairs_measured": total_pairs,
+            "sampled": False,
+            "time_s": round(compiled_time, 4),
+            "pairs_per_s": round(total_pairs / compiled_time, 1),
+            "gate_visits_per_s": round(total_pairs / compiled_time * gates, 1),
+        },
+        "speedup": round(scalar_full_time / compiled_time, 1),
+    }
+
+
+def bench_network_simulation(width: int, vectors: int) -> dict:
+    """Per-vector gate-level engine vs the batched compiled path."""
+    network = SORT10_SIZE
+    workload = measurement_sweep(
+        width, network.channels, vectors, meta_rate=0.3, seed=2018
+    )
+    comparators = network.size
+    gates = build_two_sort(width).gate_count() * comparators
+
+    # Warm both caches (netlist + compiled program) outside the timers.
+    # The "circuit" engine is the scalar reference interpreter.
+    sort_words(network, workload[0], engine="circuit")
+    sort_words_batch(network, workload[:1])
+
+    scalar_vectors = workload[: max(4, vectors // 8)]
+    t0 = time.perf_counter()
+    scalar_out = [
+        sort_words(network, v, engine="circuit") for v in scalar_vectors
+    ]
+    scalar_time = time.perf_counter() - t0
+    scalar_rate = len(scalar_vectors) / scalar_time
+
+    t0 = time.perf_counter()
+    batch_out = sort_words_batch(network, workload)
+    compiled_time = time.perf_counter() - t0
+    compiled_rate = len(workload) / compiled_time
+
+    assert batch_out[: len(scalar_out)] == scalar_out
+
+    return {
+        "width": width,
+        "network": network.name,
+        "comparators": comparators,
+        "vectors": len(workload),
+        "scalar": {
+            "vectors_measured": len(scalar_vectors),
+            "time_s": round(scalar_time, 4),
+            "vectors_per_s": round(scalar_rate, 1),
+            "gate_visits_per_s": round(scalar_rate * gates, 1),
+        },
+        "compiled": {
+            "vectors_measured": len(workload),
+            "time_s": round(compiled_time, 4),
+            "vectors_per_s": round(compiled_rate, 1),
+            "gate_visits_per_s": round(compiled_rate * gates, 1),
+        },
+        "speedup": round(compiled_rate / scalar_rate, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small widths / workloads (CI smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engines.json",
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        verify_width, scalar_sample = 5, 500
+        net_width, net_vectors = 5, 32
+    else:
+        verify_width, scalar_sample = 8, 4000
+        net_width, net_vectors = 8, 1024
+
+    print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
+    exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
+    print(
+        f"  scalar:   {exhaustive['scalar']['pairs_per_s']:>12,.0f} pairs/s "
+        f"({exhaustive['scalar']['gate_visits_per_s']:,.0f} gate-visits/s)"
+    )
+    print(
+        f"  compiled: {exhaustive['compiled']['pairs_per_s']:>12,.0f} pairs/s "
+        f"({exhaustive['compiled']['gate_visits_per_s']:,.0f} gate-visits/s)"
+    )
+    print(f"  speedup:  {exhaustive['speedup']:,.1f}x")
+
+    print(f"== sorting-network simulation (B={net_width}, 10 channels) ==")
+    network = bench_network_simulation(net_width, net_vectors)
+    print(f"  scalar:   {network['scalar']['vectors_per_s']:>12,.1f} vectors/s")
+    print(f"  compiled: {network['compiled']['vectors_per_s']:>12,.1f} vectors/s")
+    print(f"  speedup:  {network['speedup']:,.1f}x")
+
+    payload = {
+        "benchmark": "scalar interpreter vs compiled two-plane engine",
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "exhaustive_verification": exhaustive,
+        "network_simulation": network,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if exhaustive["speedup"] < 20:
+        print("FAIL: compiled engine is less than 20x the scalar interpreter")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ from repro.circuits.evaluate import evaluate_words
 from repro.baselines.bincomp import build_bincomp_two_sort
 from repro.core.two_sort import build_two_sort
 from repro.graycode.valid import is_valid
-from repro.networks.simulate import sort_words
+from repro.networks.simulate import sort_words, sort_words_batch
 from repro.networks.topologies import SORT10_SIZE
 from repro.verify.random_valid import measurement_sweep
 
@@ -51,6 +51,18 @@ def test_throughput_gate_level(benchmark, workload):
         rounds=1, iterations=1,
     )
     assert len(result) == 6
+
+
+def test_throughput_compiled_batch(benchmark, workload):
+    """Bit-parallel gate-level simulation: all vectors in one batch.
+
+    Same netlist semantics as ``engine="circuit"`` but every comparator
+    visit evaluates the whole workload simultaneously on two bit-planes
+    (see ``benchmarks/bench_engines.py`` for the tracked speedup ratio).
+    """
+    result = benchmark(lambda: sort_words_batch(SORT10_SIZE, workload))
+    assert len(result) == VECTORS
+    assert result == [sort_words(SORT10_SIZE, v, engine="rank") for v in workload]
 
 
 def test_containment_fault_rate(benchmark, emit):

@@ -40,7 +40,10 @@ from .graycode import (
 )
 from .circuits import (
     Circuit,
+    CompiledCircuit,
     CostReport,
+    TritVec,
+    compile_circuit,
     evaluate_words,
     logic_depth,
     report,
@@ -57,9 +60,14 @@ from .networks import (
     batcher_odd_even,
     build_sorting_circuit,
     sort_words,
+    sort_words_batch,
 )
 from .analysis import measure_network, measure_two_sort, table7_rows, table8_rows
-from .verify import ValidStringSource, verify_two_sort_circuit
+from .verify import (
+    ValidStringSource,
+    verify_random_pairs,
+    verify_two_sort_circuit,
+)
 
 __version__ = "1.0.0"
 
@@ -82,7 +90,10 @@ __all__ = [
     "rank",
     "two_sort_closure",
     "Circuit",
+    "CompiledCircuit",
     "CostReport",
+    "TritVec",
+    "compile_circuit",
     "evaluate_words",
     "logic_depth",
     "report",
@@ -100,11 +111,13 @@ __all__ = [
     "batcher_odd_even",
     "build_sorting_circuit",
     "sort_words",
+    "sort_words_batch",
     "measure_network",
     "measure_two_sort",
     "table7_rows",
     "table8_rows",
     "ValidStringSource",
+    "verify_random_pairs",
     "verify_two_sort_circuit",
     "__version__",
 ]

@@ -5,6 +5,13 @@ gate kinds with metastable-closure semantics (Table 3), flat netlists
 with hierarchy-by-instantiation, topological three-valued simulation,
 and cost analysis (gate count / area / critical-path delay) modelled on
 the paper's NanGate 45 nm flow (Section 6).
+
+Simulation runs on two interchangeable engines: the scalar reference
+interpreter (:func:`evaluate_interpreted`) and the bit-parallel
+two-plane compiler (:mod:`repro.circuits.compiled`), which batches
+thousands of input vectors per gate visit; the public scalar API
+(:func:`evaluate`, :func:`evaluate_words`) is a width-1 wrapper over
+the compiled program.
 """
 
 from .wire import NameScope, NetId
@@ -29,9 +36,11 @@ from .gates import (
 )
 from .library import DEFAULT_LIBRARY, LAYOUT_OVERHEAD, NANGATE45, Cell, CellLibrary
 from .netlist import Circuit, CircuitError, Gate
+from .compiled import CompiledCircuit, TritVec, compile_circuit
 from .evaluate import (
     evaluate,
     evaluate_all_resolutions,
+    evaluate_interpreted,
     evaluate_outputs,
     evaluate_words,
     weaker_than_closure,
@@ -88,9 +97,13 @@ __all__ = [
     "CellLibrary",
     "Circuit",
     "CircuitError",
+    "CompiledCircuit",
     "Gate",
+    "TritVec",
+    "compile_circuit",
     "evaluate",
     "evaluate_all_resolutions",
+    "evaluate_interpreted",
     "evaluate_outputs",
     "evaluate_words",
     "weaker_than_closure",

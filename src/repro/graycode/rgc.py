@@ -18,7 +18,8 @@ Observation 3.1).
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import Tuple
 
 from ..ternary.trit import Trit
 from ..ternary.word import Word
@@ -72,9 +73,14 @@ def gray_encode_recursive(x: int, width: int) -> Word:
     return Word([1]).concat(gray_encode_recursive((1 << width) - 1 - x, width - 1))
 
 
-def all_codewords(width: int) -> List[Word]:
-    """All ``2**width`` codewords in ascending order of encoded value."""
-    return [gray_encode(x, width) for x in range(1 << width)]
+@lru_cache(maxsize=None)
+def all_codewords(width: int) -> Tuple[Word, ...]:
+    """All ``2**width`` codewords in ascending order of encoded value.
+
+    Cached per width (immutable tuple): the enumeration is pure and
+    reused by sweeps, tables, and workload generators.
+    """
+    return tuple(gray_encode(x, width) for x in range(1 << width))
 
 
 def parity(g: Word) -> int:

@@ -18,7 +18,8 @@ max/min) are exactly the lattice max/min.  We expose the order through
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import lru_cache
+from typing import Optional, Tuple
 
 from ..ternary.trit import Trit
 from ..ternary.word import Word
@@ -100,13 +101,16 @@ def value_interval(w: Word):
     return (r // 2, r // 2 + 1)
 
 
-def all_valid_strings(width: int) -> List[Word]:
+@lru_cache(maxsize=None)
+def all_valid_strings(width: int) -> Tuple[Word, ...]:
     """All ``2**(width+1) - 1`` valid strings in ascending order.
 
     Enumerates Table 2 (for ``width == 4``) top-to-bottom through the
-    interleaving stable / superposed pattern.
+    interleaving stable / superposed pattern.  Cached per width (and
+    returned as an immutable tuple) so exhaustive sweeps and workload
+    generators never re-enumerate the valid domain.
     """
-    return [from_rank(r, width) for r in range((1 << (width + 1)) - 1)]
+    return tuple(from_rank(r, width) for r in range((1 << (width + 1)) - 1))
 
 
 def count_valid_strings(width: int) -> int:

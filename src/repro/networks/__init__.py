@@ -18,7 +18,7 @@ from .topologies import (
     insertion,
 )
 from .build import TWO_SORT_BUILDERS, build_sorting_circuit
-from .simulate import ENGINES, sort_words
+from .simulate import ENGINES, sort_words, sort_words_batch
 from .properties import (
     check_mc_sort,
     is_sorted_by_rank,
@@ -44,6 +44,7 @@ __all__ = [
     "build_sorting_circuit",
     "ENGINES",
     "sort_words",
+    "sort_words_batch",
     "check_mc_sort",
     "is_sorted_by_rank",
     "outputs_all_valid",

@@ -7,7 +7,11 @@ from .exhaustive import (
     verify_function_agreement,
     verify_two_sort_circuit,
 )
-from .random_valid import ValidStringSource, measurement_sweep
+from .random_valid import (
+    ValidStringSource,
+    measurement_sweep,
+    verify_random_pairs,
+)
 
 __all__ = [
     "VerificationResult",
@@ -17,4 +21,5 @@ __all__ = [
     "verify_two_sort_circuit",
     "ValidStringSource",
     "measurement_sweep",
+    "verify_random_pairs",
 ]

@@ -11,8 +11,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "49 cases checked: OK" in out
 
+    def test_verify_wide_width_now_feasible(self, capsys):
+        """B=8 (261k pairs) is interactive since the bit-parallel engine."""
+        assert main(["verify", "--width", "8"]) == 0
+        assert "261121 cases checked: OK" in capsys.readouterr().out
+
     def test_verify_refuses_huge_width(self, capsys):
-        assert main(["verify", "--width", "10"]) == 2
+        assert main(["verify", "--width", "12"]) == 2
 
     def test_sort_command(self, capsys):
         assert main(["sort", "0110", "0M10", "0010", "1000"]) == 0

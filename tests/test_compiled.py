@@ -1,0 +1,223 @@
+"""Tests for the bit-parallel two-plane engine (repro.circuits.compiled).
+
+The load-bearing property is *exact equivalence* with the scalar
+reference interpreter: the compiled program must reproduce strong-Kleene
+gate semantics bit-for-bit on every input, stable or metastable.  The
+suite checks this per gate kind (full ternary truth tables), per circuit
+(exhaustive over all valid pairs at small widths, randomized M-laden
+vectors at B = 10), and end-to-end through the batched sorting-network
+path.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits.compiled import CompiledCircuit, TritVec, compile_circuit
+from repro.circuits.evaluate import (
+    evaluate,
+    evaluate_all_resolutions,
+    evaluate_interpreted,
+    evaluate_words,
+)
+from repro.circuits.gates import ALL_GATE_KINDS, AND2, INV, OR2
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.core.two_sort import build_two_sort
+from repro.ternary.kleene import kleene_and, kleene_not, kleene_or, kleene_xor
+from repro.ternary.trit import ALL_TRITS, META, ONE, ZERO, Trit
+from repro.ternary.word import Word
+from repro.verify.exhaustive import valid_pairs
+
+
+class TestTritVec:
+    def test_roundtrip(self):
+        tv = TritVec.from_trits("01M10M")
+        assert tv.to_str() == "01M10M"
+        assert tv.to_word() == Word("01M10M")
+        assert len(tv) == 6
+
+    def test_getitem(self):
+        tv = TritVec.from_trits("0M1")
+        assert tv[0] is ZERO and tv[1] is META and tv[2] is ONE
+        assert tv[-1] is ONE
+        with pytest.raises(IndexError):
+            tv[3]
+
+    def test_broadcast(self):
+        assert TritVec.broadcast("M", 5).to_str() == "MMMMM"
+        assert TritVec.broadcast(0, 3).to_str() == "000"
+
+    def test_metastable_lanes(self):
+        assert TritVec.from_trits("0MM1M").metastable_lanes == 3
+
+    def test_plane_validation(self):
+        with pytest.raises(ValueError, match="encode a trit"):
+            TritVec(2, 0b01, 0b00)  # lane 1 has empty resolution set
+
+    def test_lane_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            TritVec.from_trits("01") & TritVec.from_trits("011")
+
+    @pytest.mark.parametrize(
+        "op,scalar",
+        [
+            (lambda a, b: a & b, kleene_and),
+            (lambda a, b: a | b, kleene_or),
+            (lambda a, b: a.xor(b), kleene_xor),
+        ],
+    )
+    def test_binary_ops_match_kleene_tables(self, op, scalar):
+        pairs = list(itertools.product(ALL_TRITS, repeat=2))
+        a = TritVec.from_trits([p[0] for p in pairs])
+        b = TritVec.from_trits([p[1] for p in pairs])
+        assert op(a, b).to_trits() == [scalar(x, y) for x, y in pairs]
+
+    def test_invert_matches_kleene_not(self):
+        tv = TritVec.from_trits(ALL_TRITS)
+        assert (~tv).to_trits() == [kleene_not(t) for t in ALL_TRITS]
+
+    def test_immutable_and_hashable(self):
+        tv = TritVec.from_trits("0M")
+        with pytest.raises(AttributeError):
+            tv.p0 = 0
+        assert tv == TritVec.from_trits("0M")
+        assert hash(tv) == hash(TritVec.from_trits("0M"))
+
+
+class TestGateKindEquivalence:
+    """Every compilable gate kind: full ternary truth table, batch == scalar."""
+
+    @pytest.mark.parametrize(
+        "kind_name",
+        [k for k, v in ALL_GATE_KINDS.items() if v.arity > 0],
+    )
+    def test_full_truth_table(self, kind_name):
+        kind = ALL_GATE_KINDS[kind_name]
+        c = Circuit(f"tt_{kind_name}")
+        ins = c.add_inputs(kind.arity)
+        c.add_output(c.add_gate(kind, ins))
+        combos = list(itertools.product(ALL_TRITS, repeat=kind.arity))
+        batch = compile_circuit(c).evaluate_batch(combos)
+        expected = [Word([kind.evaluate(*combo)]) for combo in combos]
+        assert batch == expected
+
+    def test_constant_drivers(self):
+        c = Circuit("consts")
+        a = c.add_input("a")
+        zero, one = c.const(ZERO), c.const(ONE)
+        c.add_output(c.add_gate(OR2, [a, zero]))
+        c.add_output(c.add_gate(AND2, [a, one]))
+        batch = compile_circuit(c).evaluate_batch([[t] for t in ALL_TRITS])
+        assert batch == [Word([t, t]) for t in ALL_TRITS]
+
+
+class TestCircuitEquivalence:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_valid_pairs(self, width):
+        """All |S^B_rg|^2 valid pairs: batch == scalar interpreter."""
+        circuit = build_two_sort(width)
+        pairs = list(valid_pairs(width))
+        batch = compile_circuit(circuit).evaluate_batch(
+            [tuple(g) + tuple(h) for g, h in pairs]
+        )
+        for (g, h), out in zip(pairs, batch):
+            flat = list(g) + list(h)
+            ref = evaluate_interpreted(circuit, dict(zip(circuit.inputs, flat)))
+            assert out == Word([ref[n] for n in circuit.outputs]), (g, h)
+
+    def test_exhaustive_valid_pairs_b6(self):
+        """B = 6: the full 127^2 pair domain in one batch vs the scalar
+        interpreter (subsampled comparison would not prove equivalence)."""
+        width = 6
+        circuit = build_two_sort(width)
+        pairs = list(valid_pairs(width))
+        batch = compile_circuit(circuit).evaluate_batch(
+            [tuple(g) + tuple(h) for g, h in pairs]
+        )
+        for (g, h), out in zip(pairs, batch):
+            flat = list(g) + list(h)
+            ref = evaluate_interpreted(circuit, dict(zip(circuit.inputs, flat)))
+            assert out == Word([ref[n] for n in circuit.outputs]), (g, h)
+
+    def test_randomized_metastable_inputs_b10(self):
+        """B = 10, arbitrary {0,1,M} words (not just valid strings):
+        heavily M-laden inputs exercise every plane interaction."""
+        width = 10
+        circuit = build_two_sort(width)
+        rng = random.Random(2018)
+        vectors = [
+            [rng.choice(ALL_TRITS) for _ in range(2 * width)]
+            for _ in range(200)
+        ]
+        batch = compile_circuit(circuit).evaluate_batch(vectors)
+        for vec, out in zip(vectors, batch):
+            ref = evaluate_interpreted(circuit, dict(zip(circuit.inputs, vec)))
+            assert out == Word([ref[n] for n in circuit.outputs])
+
+    def test_scalar_wrappers_match_interpreter(self):
+        """evaluate() (width-1 compiled wrapper) returns the same net
+        dictionary as the reference interpreter."""
+        circuit = build_two_sort(3)
+        rng = random.Random(7)
+        for _ in range(20):
+            assignment = {
+                n: rng.choice(ALL_TRITS) for n in circuit.inputs
+            }
+            assert evaluate(circuit, assignment) == evaluate_interpreted(
+                circuit, assignment
+            )
+
+    def test_all_resolutions_batched(self):
+        """Batched closure simulation equals the textbook definition."""
+        c = Circuit("glitchy")
+        a = c.add_input("a")
+        na = c.add_gate(INV, [a])
+        xor = ALL_GATE_KINDS["XOR2"]
+        c.add_output(c.add_gate(xor, [a, na]))
+        assert evaluate_words(c, Word("M")) == Word("M")
+        assert evaluate_all_resolutions(c, Word("M")) == Word("1")
+
+
+class TestCompileCache:
+    def test_cache_hit(self):
+        c = build_two_sort(2)
+        assert compile_circuit(c) is compile_circuit(c)
+
+    def test_cache_invalidated_on_mutation(self):
+        c = Circuit("grow")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.add_output(c.add_gate(AND2, [a, b]))
+        first = compile_circuit(c)
+        assert first.evaluate_batch([[ONE, ONE]]) == [Word("1")]
+        c.add_output(c.add_gate(OR2, [a, b]))
+        second = compile_circuit(c)
+        assert second is not first
+        assert second.evaluate_batch([[ONE, ZERO]]) == [Word("01")]
+
+    def test_independent_circuits_not_shared(self):
+        assert compile_circuit(build_two_sort(2)) is not compile_circuit(
+            build_two_sort(2)
+        )
+
+
+class TestCompileErrors:
+    def test_structural_errors_surface(self):
+        c = Circuit("cyclic")
+        c.add_gate(INV, ["b"], output="a")
+        c.add_gate(INV, ["a"], output="b")
+        with pytest.raises(CircuitError, match="cycle"):
+            compile_circuit(c)
+
+    def test_input_count_checked(self):
+        program = compile_circuit(build_two_sort(2))
+        with pytest.raises(ValueError, match="expected 4 input bits"):
+            program.evaluate_batch([[ZERO, ONE]])
+
+    def test_batch_width_one_equals_evaluate_words(self):
+        circuit = build_two_sort(2)
+        g, h = Word("0M"), Word("01")
+        program = compile_circuit(circuit)
+        assert program.evaluate_batch([tuple(g) + tuple(h)]) == [
+            evaluate_words(circuit, g, h)
+        ]

@@ -5,7 +5,7 @@ import pytest
 from repro.graycode.rgc import gray_encode
 from repro.graycode.valid import rank
 from repro.networks.properties import check_mc_sort, is_sorted_by_rank, outputs_all_valid
-from repro.networks.simulate import ENGINES, sort_words
+from repro.networks.simulate import ENGINES, sort_words, sort_words_batch
 from repro.networks.topologies import SORT4, SORT7, SORT10_SIZE, batcher_odd_even
 from repro.ternary.word import Word
 from repro.verify.random_valid import ValidStringSource
@@ -13,20 +13,22 @@ from repro.verify.random_valid import ValidStringSource
 
 class TestEngines:
     def test_engine_registry(self):
-        assert set(ENGINES) == {"closure", "fsm", "rank", "circuit"}
+        assert set(ENGINES) == {"closure", "fsm", "rank", "circuit", "compiled"}
 
     def test_unknown_engine(self):
         with pytest.raises(KeyError, match="unknown simulation engine"):
             sort_words(SORT4, [Word("00")] * 4, engine="abacus")
 
-    @pytest.mark.parametrize("engine", ["closure", "fsm", "rank", "circuit"])
+    @pytest.mark.parametrize(
+        "engine", ["closure", "fsm", "rank", "circuit", "compiled"]
+    )
     def test_engines_sort_stable(self, engine):
         width = 3
         words = [gray_encode(v, width) for v in (6, 1, 4, 0)]
         out = sort_words(SORT4, words, engine=engine)
         assert [rank(w) for w in out] == sorted(rank(w) for w in words)
 
-    @pytest.mark.parametrize("engine", ["closure", "fsm", "circuit"])
+    @pytest.mark.parametrize("engine", ["closure", "fsm", "circuit", "compiled"])
     def test_engines_agree_on_metastable(self, engine):
         width = 4
         source = ValidStringSource(width, meta_rate=0.6, seed=7)
@@ -34,6 +36,42 @@ class TestEngines:
             words = source.sample_vector(4)
             baseline = sort_words(SORT4, words, engine="rank")
             assert sort_words(SORT4, words, engine=engine) == baseline
+
+
+class TestSortWordsBatch:
+    def test_batch_matches_per_vector_rank(self):
+        width = 4
+        source = ValidStringSource(width, meta_rate=0.5, seed=13)
+        vectors = [source.sample_vector(4) for _ in range(40)]
+        batch = sort_words_batch(SORT4, vectors)
+        assert batch == [sort_words(SORT4, v, engine="rank") for v in vectors]
+
+    def test_batch_matches_gate_level_engine(self):
+        width = 3
+        source = ValidStringSource(width, meta_rate=0.6, seed=21)
+        vectors = [source.sample_vector(SORT7.channels) for _ in range(12)]
+        batch = sort_words_batch(SORT7, vectors, engine="compiled")
+        per_vec = [sort_words(SORT7, v, engine="circuit") for v in vectors]
+        assert batch == per_vec
+
+    def test_non_compiled_engine_falls_back(self):
+        width = 3
+        source = ValidStringSource(width, meta_rate=0.4, seed=5)
+        vectors = [source.sample_vector(4) for _ in range(6)]
+        batch = sort_words_batch(SORT4, vectors, engine="fsm")
+        assert batch == [sort_words(SORT4, v, engine="fsm") for v in vectors]
+
+    def test_empty_batch(self):
+        assert sort_words_batch(SORT4, []) == []
+
+    def test_channel_count_checked(self):
+        with pytest.raises(ValueError, match="expects 4 values"):
+            sort_words_batch(SORT4, [[Word("00")] * 3])
+
+    def test_mixed_widths_rejected(self):
+        bad = [[Word("00"), Word("01"), Word("000"), Word("11")]]
+        with pytest.raises(ValueError, match="width"):
+            sort_words_batch(SORT4, bad)
 
 
 class TestMcSortContract:

@@ -92,7 +92,7 @@ class TestRankOrder:
     def test_order_is_table2_order(self):
         """Ascending rank must walk Table 2 top to bottom."""
         words = all_valid_strings(4)
-        assert sorted(words, key=rank) == words
+        assert sorted(words, key=rank) == list(words)
 
 
 class TestValueInterval:

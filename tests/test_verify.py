@@ -11,7 +11,11 @@ from repro.verify.exhaustive import (
     verify_containment,
     verify_two_sort_circuit,
 )
-from repro.verify.random_valid import ValidStringSource, measurement_sweep
+from repro.verify.random_valid import (
+    ValidStringSource,
+    measurement_sweep,
+    verify_random_pairs,
+)
 
 
 class TestVerificationResult:
@@ -56,6 +60,33 @@ class TestExhaustive:
     def test_containment_weaker_than_equality(self):
         result = verify_containment(build_two_sort(3), 3)
         assert result.ok
+
+
+class TestVerifyRandomPairs:
+    def test_good_circuit_passes(self):
+        result = verify_random_pairs(build_two_sort(6), 6, 200, seed=4)
+        assert result.ok and result.checked == 200
+
+    def test_broken_circuit_caught(self):
+        from repro.circuits.netlist import Circuit
+
+        good = build_two_sort(3)
+        broken = Circuit("broken")
+        ins = [broken.add_input(n) for n in good.inputs]
+        outs = broken.instantiate(good, ins)
+        broken.add_outputs(outs[3:] + outs[:3])  # swap max/min busses
+        result = verify_random_pairs(broken, 3, 300, meta_rate=0.5, seed=1)
+        assert not result.ok
+        assert "got" in result.failures[0] and "want" in result.failures[0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="needs 8 inputs"):
+            verify_random_pairs(build_two_sort(3), 4, 10)
+
+    def test_deterministic_by_seed(self):
+        a = verify_random_pairs(build_two_sort(4), 4, 50, seed=9)
+        b = verify_random_pairs(build_two_sort(4), 4, 50, seed=9)
+        assert a.checked == b.checked == 50 and a.ok and b.ok
 
 
 class TestValidStringSource:
