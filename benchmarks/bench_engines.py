@@ -55,6 +55,7 @@ from repro.networks.simulate import sort_words, sort_words_batch  # noqa: E402
 from repro.networks.topologies import SORT10_SIZE  # noqa: E402
 from repro.ternary.word import Word  # noqa: E402
 from repro.verify.exhaustive import verify_two_sort_circuit  # noqa: E402
+from repro.verify.parallel import verify_two_sort_sharded  # noqa: E402
 from repro.verify.random_valid import measurement_sweep  # noqa: E402
 
 
@@ -167,6 +168,61 @@ def bench_network_simulation(width: int, vectors: int) -> dict:
     }
 
 
+def bench_parallel_verification(width: int, jobs_list) -> dict:
+    """Worker-count scaling of the sharded exhaustive sweep.
+
+    Every row -- the serial baseline included -- runs the *same* shard
+    set (one shard size, computed for the largest worker count), so the
+    curve isolates pool/parallelism effects from shard-size effects.
+    Each entry asserts bit-identical verification counts.  Speedups are
+    honest wall-clock ratios -- on a single-core host the pool overhead
+    makes them <= 1, which is exactly what the recorded ``cpu_count``
+    explains.
+    """
+    import os
+
+    from repro.verify.parallel import _default_pair_shard_size
+
+    circuit = build_two_sort(width)
+    compile_circuit(circuit)  # warm the program cache outside the timers
+    total_pairs = len(all_valid_strings(width)) ** 2
+    shard_size = _default_pair_shard_size(width, max(jobs_list))
+
+    t0 = time.perf_counter()
+    baseline = verify_two_sort_sharded(
+        circuit, width, jobs=1, shard_size=shard_size, executor="serial"
+    )
+    serial_time = time.perf_counter() - t0
+    assert baseline.ok and baseline.checked == total_pairs
+
+    workers = []
+    for jobs in jobs_list:
+        t0 = time.perf_counter()
+        result = verify_two_sort_sharded(
+            circuit, width, jobs=jobs, shard_size=shard_size,
+            executor="process",
+        )
+        elapsed = time.perf_counter() - t0
+        assert result.ok and result.checked == baseline.checked
+        workers.append(
+            {
+                "jobs": jobs,
+                "checked": result.checked,
+                "time_s": round(elapsed, 4),
+                "speedup_vs_serial": round(serial_time / elapsed, 2),
+            }
+        )
+
+    return {
+        "width": width,
+        "pairs": total_pairs,
+        "cpu_count": os.cpu_count(),
+        "shard_size": shard_size,
+        "serial_time_s": round(serial_time, 4),
+        "workers": workers,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -185,9 +241,11 @@ def main(argv=None) -> int:
     if args.quick:
         verify_width, scalar_sample = 5, 500
         net_width, net_vectors = 5, 32
+        parallel_width, parallel_jobs = 6, [1, 2]
     else:
         verify_width, scalar_sample = 8, 4000
         net_width, net_vectors = 8, 1024
+        parallel_width, parallel_jobs = 9, [1, 2, 4]
 
     print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
     exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
@@ -207,6 +265,18 @@ def main(argv=None) -> int:
     print(f"  compiled: {network['compiled']['vectors_per_s']:>12,.1f} vectors/s")
     print(f"  speedup:  {network['speedup']:,.1f}x")
 
+    print(f"== sharded parallel verification (B={parallel_width}) ==")
+    parallel = bench_parallel_verification(parallel_width, parallel_jobs)
+    print(
+        f"  serial:   {parallel['serial_time_s']:>8.4f}s "
+        f"({parallel['pairs']:,} pairs, {parallel['cpu_count']} cores)"
+    )
+    for entry in parallel["workers"]:
+        print(
+            f"  jobs={entry['jobs']}:   {entry['time_s']:>8.4f}s "
+            f"({entry['speedup_vs_serial']:,.2f}x vs serial)"
+        )
+
     payload = {
         "benchmark": "scalar interpreter vs compiled two-plane engine",
         "quick": args.quick,
@@ -214,6 +284,7 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "exhaustive_verification": exhaustive,
         "network_simulation": network,
+        "parallel_verification": parallel,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

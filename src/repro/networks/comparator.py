@@ -25,6 +25,13 @@ class Comparator:
     hi: int
 
     def __post_init__(self):
+        if self.lo < 0:
+            # A negative index passes the ordering checks but makes
+            # apply()/sort_words_batch silently wrap to the wrong channel.
+            raise ValueError(
+                f"comparator channels must be non-negative: "
+                f"got ({self.lo}, {self.hi})"
+            )
         if self.lo == self.hi:
             raise ValueError("comparator must connect two distinct channels")
         if self.lo > self.hi:
@@ -57,7 +64,10 @@ class SortingNetwork:
             layer = [Comparator(lo, hi) for lo, hi in layer_spec]
             used: set = set()
             for comp in layer:
-                if comp.hi >= channels:
+                # lo < 0 is already rejected by Comparator itself; the
+                # network re-checks so its channel-bounds contract does
+                # not depend on the element type's validation.
+                if comp.lo < 0 or comp.hi >= channels:
                     raise ValueError(
                         f"{name}: comparator {comp} exceeds {channels} channels"
                     )

@@ -31,7 +31,7 @@ the high-throughput path for system-level workloads.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.compiled import TritVec, compile_circuit
 from ..circuits.evaluate import evaluate_interpreted
@@ -82,25 +82,32 @@ ENGINES: Dict[str, TwoSortFn] = {
 }
 
 
+def _engine_fn(engine: str) -> TwoSortFn:
+    """Look up an engine; one uniform KeyError for every entry point."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise KeyError(
+            f"unknown simulation engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+
+
 def sort_words(
     network: SortingNetwork,
     values: Sequence[Word],
     engine: str = "rank",
 ) -> List[Word]:
     """Run ``network`` on Gray-coded words; channel 0 gets the minimum."""
-    try:
-        two_sort = ENGINES[engine]
-    except KeyError:
-        raise KeyError(
-            f"unknown simulation engine {engine!r}; available: {sorted(ENGINES)}"
-        ) from None
-    return network.apply(list(values), two_sort=two_sort)
+    return network.apply(list(values), two_sort=_engine_fn(engine))
 
 
 def sort_words_batch(
     network: SortingNetwork,
     vectors: Sequence[Sequence[Word]],
     engine: str = "compiled",
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> List[List[Word]]:
     """Sort many measurement vectors through ``network`` at once.
 
@@ -114,23 +121,41 @@ def sort_words_batch(
     sorts lane ``j`` of every channel simultaneously.  Other engine
     names fall back to the per-vector loop (same results, provided for
     API uniformity).
+
+    Passing any of ``jobs``/``shard_size``/``executor`` shards the
+    vector batch across the executor registry of
+    :mod:`repro.verify.parallel` (lane-block shards, results
+    concatenated in order -- identical to the serial output).
+    ``jobs=0`` (or ``None`` with another sharding argument) means one
+    worker per core; ``jobs=1`` alone keeps the single-process path.
+    This is the million-vector path: each worker runs the compiled
+    batch on its own shard.
     """
+    _engine_fn(engine)  # uniform validation, even for the empty batch
+    vectors = [list(v) for v in vectors]
+    _check_batch_shapes(network, vectors)
+    # Width uniformity is validated before any dispatch so the sharded
+    # path rejects exactly the batches the serial compiled path rejects
+    # (a per-shard check would depend on where shard boundaries fall).
+    if engine == "compiled" and vectors:
+        width = len(vectors[0][0])
+        for v in vectors:
+            for w in v:
+                if len(w) != width:
+                    raise ValueError(
+                        "all words in a batch must share one width"
+                    )
+    # Any sharding argument routes through the executor registry, so
+    # e.g. an unknown executor name raises regardless of batch size.
+    if jobs not in (None, 1) or shard_size is not None or executor is not None:
+        return _sort_words_batch_sharded(
+            network, vectors, engine, jobs, shard_size, executor
+        )
     if engine != "compiled":
         return [sort_words(network, v, engine=engine) for v in vectors]
-    vectors = [list(v) for v in vectors]
     if not vectors:
         return []
-    for v in vectors:
-        if len(v) != network.channels:
-            raise ValueError(
-                f"{network.name} expects {network.channels} values, "
-                f"got {len(v)}"
-            )
     width = len(vectors[0][0])
-    for v in vectors:
-        for w in v:
-            if len(w) != width:
-                raise ValueError("all words in a batch must share one width")
 
     program = compile_circuit(_cached_circuit(width))
     n = len(vectors)
@@ -155,3 +180,65 @@ def sort_words_batch(
         ]
         for j in range(n)
     ]
+
+
+# ----------------------------------------------------------------------
+# Sharded batch path (reuses the verify-layer sharding helpers)
+# ----------------------------------------------------------------------
+def _check_batch_shapes(
+    network: SortingNetwork, vectors: Sequence[Sequence[Word]]
+) -> None:
+    for v in vectors:
+        if len(v) != network.channels:
+            raise ValueError(
+                f"{network.name} expects {network.channels} values, "
+                f"got {len(v)}"
+            )
+
+
+#: Per-process state installed by the pool initializer: only the small,
+#: shard-invariant context (network + engine name).  The vector batch is
+#: NOT broadcast -- each task carries just its own slice, so the whole
+#: batch crosses the process boundary exactly once in total.
+_BATCH_STATE: Dict[str, Any] = {}
+
+
+def _init_batch_worker(network: SortingNetwork, engine: str) -> None:
+    _BATCH_STATE["network"] = network
+    _BATCH_STATE["engine"] = engine
+
+
+def _batch_shard_worker(shard: List[List[Word]]) -> List[List[Word]]:
+    return sort_words_batch(
+        _BATCH_STATE["network"], shard, engine=_BATCH_STATE["engine"]
+    )
+
+
+def _sort_words_batch_sharded(
+    network: SortingNetwork,
+    vectors: List[List[Word]],
+    engine: str,
+    jobs: int,
+    shard_size: Optional[int],
+    executor: Optional[str],
+) -> List[List[Word]]:
+    """Dispatch vector shards over the executor registry and concatenate."""
+    from ..verify.parallel import default_jobs, plan_shards, run_sharded
+
+    # None and 0 both mean "one worker per core", matching run_sharded.
+    jobs = default_jobs() if not jobs else max(1, jobs)
+    if shard_size is None:
+        shard_size = -(-len(vectors) // (4 * jobs))  # ~4 shards per worker
+    tasks = [vectors[lo:hi] for lo, hi in plan_shards(len(vectors), shard_size)]
+    try:
+        results = run_sharded(
+            _batch_shard_worker,
+            tasks,
+            jobs=jobs,
+            executor=executor,
+            initializer=_init_batch_worker,
+            initargs=(network, engine),
+        )
+    finally:
+        _BATCH_STATE.clear()  # serial executors run in-process; drop the refs
+    return [row for chunk in results for row in chunk]

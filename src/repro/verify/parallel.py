@@ -1,0 +1,227 @@
+"""Sharded parallel verification across a pluggable executor registry.
+
+The bit-parallel engine (:mod:`repro.circuits.compiled`) made a single
+process sweep the ``|S^B_rg|^2`` pair domain ~3000x faster, but one
+core is still the ceiling: at B = 13 the domain is 268M pairs.  The
+plane-space construction is embarrassingly parallel, though -- each
+g-row block of the pair product (:func:`repro.verify.exhaustive.pair_shards`)
+is an independent unit of work whose
+:class:`~repro.verify.exhaustive.VerificationResult` merges
+deterministically with the others.  This module dispatches those shards
+across worker processes.
+
+**Executor registry.**  An executor is a strategy for running a worker
+function over a task list::
+
+    executor(worker, tasks, jobs=..., initializer=..., initargs=...)
+        -> [worker(t) for t in tasks]      # results in task order
+
+Two executors ship by default:
+
+* ``"serial"``  -- in-process loop; the semantic reference and the
+  zero-overhead path for one job,
+* ``"process"`` -- a ``multiprocessing`` pool; the initializer runs once
+  per worker (compiling the circuit there, so the netlist is pickled
+  once and the program is reused across that worker's shards).
+
+:func:`register_executor` is the backend hook: future plane backends
+(numpy/array planes, an async service fan-out) plug in under a new name
+without touching the callers, exactly like the engine registry in
+:mod:`repro.networks.simulate`.
+
+**Determinism.**  Executors must return results in task order; callers
+merge with :meth:`VerificationResult.merge` (or plain concatenation for
+batch workloads), so the outcome is bit-identical for any job count --
+``--jobs N`` changes wall-clock time, never the report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.compiled import compile_circuit
+from ..circuits.netlist import Circuit
+from .exhaustive import (
+    _MAX_LANES,
+    VerificationResult,
+    check_two_sort_shape,
+    pair_shards,
+    verify_two_sort_shard,
+)
+
+__all__ = [
+    "available_executors",
+    "default_jobs",
+    "plan_shards",
+    "register_executor",
+    "run_sharded",
+    "verify_two_sort_sharded",
+]
+
+#: Worker signature: one picklable task in, one picklable result out.
+Worker = Callable[[Any], Any]
+#: Executor signature (see module docstring).
+Executor = Callable[..., List[Any]]
+
+_EXECUTORS: Dict[str, Executor] = {}
+
+
+def register_executor(name: str, executor: Executor) -> None:
+    """Register (or replace) an execution backend under ``name``."""
+    _EXECUTORS[name] = executor
+
+
+def available_executors() -> List[str]:
+    return sorted(_EXECUTORS)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not pin one (all cores)."""
+    return os.cpu_count() or 1
+
+
+def plan_shards(total: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``[lo, hi)`` blocks of ``shard_size``.
+
+    The generic index-space twin of
+    :func:`repro.verify.exhaustive.pair_shards`: disjoint, exactly
+    covering, in ascending order -- so concatenating per-shard results
+    reproduces the unsharded output.
+    """
+    if total <= 0:
+        return []
+    size = max(1, shard_size)
+    return [(lo, min(total, lo + size)) for lo in range(0, total, size)]
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+def _serial_executor(
+    worker: Worker,
+    tasks: Sequence[Any],
+    jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[Any]:
+    """Run every task in this process (reference implementation)."""
+    if initializer is not None:
+        initializer(*initargs)
+    return [worker(task) for task in tasks]
+
+
+def _process_executor(
+    worker: Worker,
+    tasks: Sequence[Any],
+    jobs: int,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[Any]:
+    """Fan tasks out over a ``multiprocessing`` pool, order-preserving.
+
+    A pool is spawned even for ``jobs=1`` -- callers asked for process
+    isolation by name, and benchmarks need the honest single-worker
+    pool overhead, not a silent serial fallback.
+    """
+    if not tasks:
+        return []
+    jobs = min(max(1, jobs), len(tasks))
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=jobs, initializer=initializer, initargs=initargs
+    ) as pool:
+        # chunksize=1: shards are coarse already; keep scheduling greedy.
+        return pool.map(worker, tasks, chunksize=1)
+
+
+register_executor("serial", _serial_executor)
+register_executor("process", _process_executor)
+
+
+def run_sharded(
+    worker: Worker,
+    tasks: Sequence[Any],
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[Any]:
+    """Run ``worker`` over ``tasks`` on a registered executor.
+
+    ``jobs=None`` or ``0`` means every core; ``executor=None`` picks
+    ``"process"`` for more than one job and ``"serial"`` otherwise.
+    Results come back in task order regardless of backend, which is
+    what makes sharded sweeps deterministic.
+    """
+    tasks = list(tasks)
+    jobs = default_jobs() if not jobs else max(1, jobs)
+    name = executor or ("process" if jobs > 1 else "serial")
+    try:
+        run = _EXECUTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        ) from None
+    return run(worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs)
+
+
+# ----------------------------------------------------------------------
+# Sharded exhaustive two-sort verification
+# ----------------------------------------------------------------------
+#: Per-process state installed by the pool initializer (the compiled
+#: program is built once per worker, not once per shard).
+_VERIFY_STATE: Dict[str, Any] = {}
+
+
+def _init_verify_worker(circuit: Circuit) -> None:
+    _VERIFY_STATE["program"] = compile_circuit(circuit)
+
+
+def _verify_shard_worker(task: Tuple[int, int, int]) -> VerificationResult:
+    width, g_lo, g_hi = task
+    return verify_two_sort_shard(_VERIFY_STATE["program"], width, g_lo, g_hi)
+
+
+def _default_pair_shard_size(width: int, jobs: int) -> int:
+    """Lane budget per shard: ~4 shards per worker for load balance,
+    but never above the single-process chunk cap (plane-integer size)."""
+    S = (1 << (width + 1)) - 1
+    per_worker = -(-S * S // max(1, 4 * jobs))  # ceil
+    return min(_MAX_LANES, max(S, per_worker))
+
+
+def verify_two_sort_sharded(
+    circuit: Circuit,
+    width: int,
+    jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> VerificationResult:
+    """Exhaustively verify a 2-sort circuit with sharded execution.
+
+    Splits the ``|S^B_rg|^2`` pair domain into lane-block shards
+    (:func:`~repro.verify.exhaustive.pair_shards`), dispatches them on
+    the chosen executor, and merges the per-shard results in shard
+    order.  For any ``jobs``/``shard_size``/``executor`` the returned
+    :class:`VerificationResult` counts are identical to the
+    single-process :func:`~repro.verify.exhaustive.verify_two_sort_circuit`.
+    ``jobs=None`` or ``0`` means one worker per core.
+    """
+    check_two_sort_shape(circuit, width)
+    jobs = default_jobs() if not jobs else max(1, jobs)
+    if shard_size is None:
+        shard_size = _default_pair_shard_size(width, jobs)
+    tasks = [
+        (width, g_lo, g_hi) for g_lo, g_hi in pair_shards(width, shard_size)
+    ]
+    results = run_sharded(
+        _verify_shard_worker,
+        tasks,
+        jobs=jobs,
+        executor=executor,
+        initializer=_init_verify_worker,
+        initargs=(circuit,),
+    )
+    return VerificationResult.merge(results)

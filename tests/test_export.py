@@ -90,6 +90,71 @@ class TestVerilog:
         assert "ch0/b-1" not in source
         assert "ch0_b_1" in source
 
+    def test_sanitize_collision_uniquified(self):
+        """Regression: distinct nets `a.b` and `a_b` used to sanitize to
+        the same identifier, shorting two nets in the emitted module."""
+        c = Circuit("collide")
+        x = c.add_input("a.b")
+        y = c.add_input("a_b")
+        c.add_output(c.add_gate(AND2, [x, y]))
+        source = to_verilog(c)
+        inputs = re.findall(r"input (\w+);", source)
+        assert len(inputs) == len(set(inputs)) == 2
+        # the gate must read both distinct identifiers
+        (gate_expr,) = re.findall(r"wire \w+ = (\w+) & (\w+);", source)
+        assert set(gate_expr) == set(inputs)
+
+    def test_collision_preserves_boolean_function(self):
+        """a.b OR a_b must stay a 2-input OR after renaming."""
+        from repro.circuits.gates import OR2
+
+        c = Circuit("collide_fn")
+        x = c.add_input("a.b")
+        y = c.add_input("a_b")
+        c.add_output(c.add_gate(OR2, [x, y]))
+        interp = _VerilogInterpreter(to_verilog(c))
+        assert interp.run([0, 0]) == [0]
+        assert interp.run([1, 0]) == [1]
+        assert interp.run([0, 1]) == [1]
+
+    def test_verilog_keyword_nets_renamed(self):
+        c = Circuit("kw")
+        a = c.add_input("wire")
+        b = c.add_input("module")
+        c.add_output(c.add_gate(AND2, [a, b]))
+        source = to_verilog(c)
+        assert "input wire;" not in source
+        assert "input module;" not in source
+        assert "wire__2" in source and "module__2" in source
+
+    def test_module_name_keyword_protected(self):
+        c = Circuit("wire")
+        a = c.add_input("a")
+        c.add_output(c.add_gate(AND2, [a, a]))
+        source = to_verilog(c)
+        assert "module wire(" not in source
+        assert "module wire_mod(" in source
+
+    def test_verilog_gate_primitive_keywords_renamed(self):
+        """and/or/xor etc. are keywords too, not just structural ones."""
+        c = Circuit("kw2")
+        a = c.add_input("or")
+        b = c.add_input("initial")
+        c.add_output(c.add_gate(AND2, [a, b]))
+        source = to_verilog(c)
+        assert "input or;" not in source
+        assert "input initial;" not in source
+        assert "or__2" in source and "initial__2" in source
+
+    def test_net_shadowing_output_port_uniquified(self):
+        """A net literally named out_0 must not capture the port name."""
+        c = Circuit("portclash")
+        a = c.add_input("out_0")
+        c.add_output(c.add_gate(AND2, [a, a]))
+        source = to_verilog(c)
+        assert "input out_0;" not in source
+        assert re.search(r"assign out_0 = \w+;", source)
+
 
 class TestDot:
     def test_structure(self):
@@ -102,3 +167,22 @@ class TestDot:
     def test_size_guard(self):
         with pytest.raises(ValueError, match="raise max_gates"):
             to_dot(build_two_sort(64), max_gates=100)
+
+    def test_net_named_like_output_sink_stays_distinct(self):
+        """Regression companion to the Verilog collision fix: a net named
+        out_0 must not merge with the output sink node in DOT."""
+        c = Circuit("dotclash")
+        a = c.add_input("out_0")
+        c.add_output(c.add_gate(AND2, [a, a]))
+        dot = to_dot(c)
+        assert '"//out_0"' in dot          # the sink node
+        assert '"out_0" [shape=box' in dot  # the input net node
+        assert dot.count("lightgreen") == 1
+
+    def test_quotes_in_net_ids_escaped(self):
+        c = Circuit('we"ird')
+        a = c.add_input('a"b')
+        c.add_output(c.add_gate(AND2, [a, a]))
+        dot = to_dot(c)
+        assert '\\"' in dot
+        assert '"a"b"' not in dot

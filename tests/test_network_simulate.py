@@ -64,6 +64,14 @@ class TestSortWordsBatch:
     def test_empty_batch(self):
         assert sort_words_batch(SORT4, []) == []
 
+    def test_unknown_engine_uniform_error(self):
+        """Regression: an unknown engine with an *empty* batch used to
+        return [] instead of raising like sort_words does."""
+        with pytest.raises(KeyError, match="unknown simulation engine"):
+            sort_words_batch(SORT4, [], engine="abacus")
+        with pytest.raises(KeyError, match="unknown simulation engine"):
+            sort_words_batch(SORT4, [[Word("00")] * 4], engine="abacus")
+
     def test_channel_count_checked(self):
         with pytest.raises(ValueError, match="expects 4 values"):
             sort_words_batch(SORT4, [[Word("00")] * 3])
@@ -72,6 +80,78 @@ class TestSortWordsBatch:
         bad = [[Word("00"), Word("01"), Word("000"), Word("11")]]
         with pytest.raises(ValueError, match="width"):
             sort_words_batch(SORT4, bad)
+
+
+class TestSortWordsBatchSharded:
+    def _workload(self, n, width=4, channels=None, seed=3):
+        channels = channels or SORT4.channels
+        source = ValidStringSource(width, meta_rate=0.5, seed=seed)
+        return [source.sample_vector(channels) for _ in range(n)]
+
+    def test_process_shards_match_serial(self):
+        vectors = self._workload(24)
+        serial = sort_words_batch(SORT4, vectors)
+        sharded = sort_words_batch(SORT4, vectors, jobs=2, shard_size=5)
+        assert sharded == serial
+
+    def test_serial_executor_shards_match(self):
+        vectors = self._workload(17)
+        serial = sort_words_batch(SORT4, vectors)
+        for shard_size in (1, 3, 100):
+            assert (
+                sort_words_batch(
+                    SORT4,
+                    vectors,
+                    jobs=3,
+                    shard_size=shard_size,
+                    executor="serial",
+                )
+                == serial
+            )
+
+    def test_sharded_non_compiled_engine(self):
+        vectors = self._workload(9)
+        serial = sort_words_batch(SORT4, vectors, engine="fsm")
+        sharded = sort_words_batch(
+            SORT4, vectors, engine="fsm", jobs=2, shard_size=4,
+            executor="serial",
+        )
+        assert sharded == serial
+
+    def test_jobs_one_stays_single_process(self):
+        vectors = self._workload(5)
+        assert sort_words_batch(SORT4, vectors, jobs=1) == sort_words_batch(
+            SORT4, vectors
+        )
+
+    def test_sharded_rejects_mixed_widths_like_serial(self):
+        """The sharded path must reject exactly what the serial path
+        rejects, independent of where shard boundaries fall."""
+        mixed = self._workload(4, width=2) + self._workload(4, width=3)
+        with pytest.raises(ValueError, match="width"):
+            sort_words_batch(SORT4, mixed)
+        with pytest.raises(ValueError, match="width"):
+            sort_words_batch(SORT4, mixed, jobs=2, shard_size=4)
+
+    def test_sharded_unknown_executor(self):
+        with pytest.raises(KeyError, match="unknown executor"):
+            sort_words_batch(
+                SORT4, self._workload(4), jobs=2, executor="quantum"
+            )
+
+    def test_executor_validated_regardless_of_batch_size(self):
+        """A bad executor name must raise even for 0- or 1-vector
+        batches -- validation must not depend on batch size."""
+        for n in (0, 1):
+            with pytest.raises(KeyError, match="unknown executor"):
+                sort_words_batch(
+                    SORT4, self._workload(n), jobs=2, executor="quantum"
+                )
+
+    def test_executor_alone_routes_through_registry(self):
+        vectors = self._workload(6)
+        out = sort_words_batch(SORT4, vectors, executor="serial")
+        assert out == sort_words_batch(SORT4, vectors)
 
 
 class TestMcSortContract:

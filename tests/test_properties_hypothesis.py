@@ -13,6 +13,8 @@ from repro.circuits.evaluate import evaluate_words
 from repro.graycode.ops import two_sort_closure
 from repro.graycode.rgc import gray_decode, gray_encode
 from repro.graycode.valid import from_rank, is_valid, rank, value_interval
+from repro.networks.comparator import from_comparator_list
+from repro.networks.simulate import ENGINES, sort_words, sort_words_batch
 from repro.ppc.prefix import ladner_fischer_prefixes, lf_op_count, serial_prefixes
 from repro.ternary.resolution import resolutions, superpose
 from repro.ternary.trit import Trit
@@ -129,6 +131,65 @@ def test_diamond_closure_order_independence(g, h):
     assert ladner_fischer_prefixes(items, diamond_m) == serial_prefixes(
         items, diamond_m
     )
+
+
+# ----------------------------------------------------------------------
+# Batched network simulation vs the per-vector reference
+# ----------------------------------------------------------------------
+def layered_networks(max_channels=5, max_comparators=8):
+    """Random valid layered networks via ASAP packing of comparator lists."""
+
+    def build(spec):
+        channels, raw = spec
+        comps = []
+        for a, b in raw:
+            lo, hi = sorted((a % channels, b % channels))
+            if lo != hi:
+                comps.append((lo, hi))
+        return from_comparator_list(channels, comps, name="random")
+
+    return st.tuples(
+        st.integers(min_value=2, max_value=max_channels),
+        st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 31)),
+            max_size=max_comparators,
+        ),
+    ).map(build)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_batch_agrees_with_per_vector_all_engines(data):
+    """sort_words_batch == per-vector sort_words for every registered
+    engine on randomized M-laden words and random layered networks,
+    including the sharded dispatch path."""
+    width = data.draw(st.integers(min_value=1, max_value=3))
+    net = data.draw(layered_networks())
+    vectors = data.draw(
+        st.lists(
+            st.lists(
+                valid_strings(width),
+                min_size=net.channels,
+                max_size=net.channels,
+            ),
+            max_size=5,
+        )
+    )
+    reference = None
+    for engine in sorted(ENGINES):
+        per_vector = [sort_words(net, v, engine=engine) for v in vectors]
+        assert sort_words_batch(net, vectors, engine=engine) == per_vector
+        # engines agree with each other on valid inputs
+        if reference is None:
+            reference = per_vector
+        else:
+            assert per_vector == reference
+    # the sharded path (serial executor: same shard/merge code, no fork
+    # cost per hypothesis example)
+    sharded = sort_words_batch(
+        net, vectors, jobs=3, shard_size=2, executor="serial"
+    )
+    assert sharded == reference
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,14 @@ class TestComparator:
         assert Comparator(0, 1).touches(Comparator(1, 2))
         assert not Comparator(0, 1).touches(Comparator(2, 3))
 
+    def test_negative_channel_rejected(self):
+        """Regression: Comparator(-1, 2) used to pass validation and
+        silently wrap to the last channel in apply()."""
+        with pytest.raises(ValueError, match="non-negative"):
+            Comparator(-1, 2)
+        with pytest.raises(ValueError):
+            Comparator(-3, -2)
+
 
 class TestSortingNetworkStructure:
     def test_layer_disjointness_enforced(self):
@@ -37,6 +45,14 @@ class TestSortingNetworkStructure:
     def test_channel_bounds_enforced(self):
         with pytest.raises(ValueError, match="exceeds"):
             SortingNetwork(2, [[(0, 2)]])
+
+    def test_negative_channel_rejected_in_network(self):
+        """Regression: a (-1, k) comparator used to build fine and then
+        read/write the wrong channel during simulation."""
+        with pytest.raises(ValueError):
+            SortingNetwork(4, [[(-1, 2)]])
+        with pytest.raises(ValueError):
+            from_comparator_list(4, [(0, 1), (-1, 3)])
 
     def test_size_depth(self):
         assert SORT4.size == 5 and SORT4.depth == 3
