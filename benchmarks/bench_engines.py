@@ -168,6 +168,74 @@ def bench_network_simulation(width: int, vectors: int) -> dict:
     }
 
 
+def bench_plane_backends(width: int, repeats: int = 3) -> dict:
+    """Exhaustive-verification wall clock per plane backend.
+
+    Sweeps the registered backends (``bigint`` big-int planes vs
+    ``array`` lane-word planes) over the identical full pair domain,
+    plus the stdlib ``array`` fallback variant explicitly when numpy is
+    importable (CI covers it by uninstalling numpy; here it is recorded
+    for the trajectory).  Each entry asserts bit-identical counts and
+    reports best-of-``repeats`` -- the ``vs_bigint`` ratio is the
+    acceptance metric (array must stay within 2x of bigint).
+    """
+    from repro.backends import ArrayBackend, get_backend, numpy_disabled_by_env
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+
+    circuit = build_two_sort(width)
+    total_pairs = len(all_valid_strings(width)) ** 2
+
+    candidates = [
+        ("bigint", get_backend("bigint")),
+        ("array", get_backend("array")),
+    ]
+    array_be = get_backend("array")
+    if getattr(array_be, "uses_numpy", False):
+        # The dependency-free fallback, timed alongside for the record.
+        candidates.append(("array-fallback", ArrayBackend(use_numpy=False)))
+
+    backends = {}
+    best_times = {}
+    for label, be in candidates:
+        compile_circuit(circuit, be)  # warm the program cache
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = verify_two_sort_circuit(circuit, width, backend=be)
+            elapsed = time.perf_counter() - t0
+            assert result.ok and result.checked == total_pairs, result.summary()
+            best = elapsed if best is None else min(best, elapsed)
+        best_times[label] = best
+        backends[label] = {
+            "variant": getattr(be, "variant", label),
+            "time_s": round(best, 4),
+            "pairs_per_s": round(total_pairs / best, 1),
+        }
+    for label, entry in backends.items():
+        # Ratio from the unrounded times: sub-millisecond runs would
+        # otherwise quantize (or divide by a rounded-to-zero baseline).
+        entry["vs_bigint"] = round(
+            best_times[label] / best_times["bigint"], 2
+        )
+
+    return {
+        "width": width,
+        "pairs": total_pairs,
+        "numpy": {
+            "available": numpy_version is not None,
+            "version": numpy_version,
+            "disabled_by_env": numpy_disabled_by_env(),
+        },
+        "backends": backends,
+    }
+
+
 def bench_parallel_verification(width: int, jobs_list) -> dict:
     """Worker-count scaling of the sharded exhaustive sweep.
 
@@ -242,10 +310,12 @@ def main(argv=None) -> int:
         verify_width, scalar_sample = 5, 500
         net_width, net_vectors = 5, 32
         parallel_width, parallel_jobs = 6, [1, 2]
+        backend_width = 5
     else:
         verify_width, scalar_sample = 8, 4000
         net_width, net_vectors = 8, 1024
         parallel_width, parallel_jobs = 9, [1, 2, 4]
+        backend_width = 8
 
     print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
     exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
@@ -264,6 +334,14 @@ def main(argv=None) -> int:
     print(f"  scalar:   {network['scalar']['vectors_per_s']:>12,.1f} vectors/s")
     print(f"  compiled: {network['compiled']['vectors_per_s']:>12,.1f} vectors/s")
     print(f"  speedup:  {network['speedup']:,.1f}x")
+
+    print(f"== plane backends (B={backend_width}) ==")
+    plane_backends = bench_plane_backends(backend_width)
+    for label, entry in plane_backends["backends"].items():
+        print(
+            f"  {label + ' (' + entry['variant'] + ')':24s} "
+            f"{entry['time_s']:>8.4f}s  ({entry['vs_bigint']:.2f}x bigint)"
+        )
 
     print(f"== sharded parallel verification (B={parallel_width}) ==")
     parallel = bench_parallel_verification(parallel_width, parallel_jobs)
@@ -284,6 +362,7 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "exhaustive_verification": exhaustive,
         "network_simulation": network,
+        "plane_backends": plane_backends,
         "parallel_verification": parallel,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -291,6 +370,19 @@ def main(argv=None) -> int:
 
     if exhaustive["speedup"] < 20:
         print("FAIL: compiled engine is less than 20x the scalar interpreter")
+        return 1
+    array_ratio = plane_backends["backends"]["array"]["vs_bigint"]
+    # The 2x bound is defined at B=8; --quick runs B=5 where sub-ms
+    # absolute times are pure per-call overhead, so only report there.
+    if (
+        not args.quick
+        and plane_backends["numpy"]["available"]
+        and array_ratio > 2.0
+    ):
+        print(
+            f"FAIL: array backend is {array_ratio}x bigint "
+            f"(acceptance bound: 2x at B={backend_width})"
+        )
         return 1
     return 0
 

@@ -7,8 +7,11 @@ table8              regenerate Table 8 (sorting-network costs)
 verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --jobs N     shard the sweep across N worker processes (0 = cores)
        --shard-size approximate pair-lanes per shard
+       --backend    plane backend: bigint (default) or array (numpy/words)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
 sort g h [...]      sort valid strings with the paper's circuit
+     --engine       2-sort engine (fsm default; compiled = batch path)
+     --backend      plane backend for --engine compiled
 """
 
 from __future__ import annotations
@@ -17,10 +20,11 @@ import argparse
 import sys
 
 from .analysis.compare import table7_rows, table8_rows
+from .backends import available_backends
 from .circuits.export import to_verilog
 from .core.two_sort import build_two_sort
 from .graycode.valid import validate
-from .networks.simulate import sort_words
+from .networks.simulate import ENGINES, sort_words, sort_words_batch
 from .networks.topologies import best_known
 from .ternary.word import Word
 from .verify.exhaustive import verify_two_sort_circuit
@@ -39,7 +43,36 @@ def _cmd_table8(_args) -> int:
     return 0
 
 
+def _check_positive_args(args) -> int:
+    """Reject non-positive sharding arguments up front (exit code 2).
+
+    Without this, a negative ``--jobs`` silently degraded to one worker
+    (``max(1, jobs)`` deep in the pool planner) and ``--shard-size 0``
+    died in shard planning with an opaque traceback.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 0:
+        print(
+            f"error: --jobs must be >= 0 (0 = one worker per core), "
+            f"got {jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is not None and shard_size <= 0:
+        print(
+            f"error: --shard-size must be a positive lane count, "
+            f"got {shard_size}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _cmd_verify(args) -> int:
+    bad = _check_positive_args(args)
+    if bad:
+        return bad
     width = args.width
     if width > 13:
         # Sharded across workers the pair domain stays tractable up to
@@ -52,7 +85,9 @@ def _cmd_verify(args) -> int:
         return 2
     circuit = build_two_sort(width)
     if args.jobs == 1 and args.shard_size is None:
-        result = verify_two_sort_circuit(circuit, width)
+        result = verify_two_sort_circuit(
+            circuit, width, backend=args.backend
+        )
     else:
         # jobs=0 -> one worker per core (verify_two_sort_sharded default)
         result = verify_two_sort_sharded(
@@ -60,6 +95,7 @@ def _cmd_verify(args) -> int:
             width,
             jobs=args.jobs or None,
             shard_size=args.shard_size,
+            backend=args.backend,
         )
     print(f"2-sort({width}) vs closure spec: {result.summary()}")
     for failure in result.failures[:5]:
@@ -73,13 +109,29 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_sort(args) -> int:
+    if args.backend is not None and args.engine != "compiled":
+        print(
+            f"error: --backend selects a plane representation, which only "
+            f"the compiled engine uses; pass --engine compiled "
+            f"(got --engine {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
     words = [validate(Word(s)) for s in args.values]
     widths = {len(w) for w in words}
     if len(widths) != 1:
         print("all inputs must share one width", file=sys.stderr)
         return 2
     network = best_known(len(words))
-    for w in sort_words(network, words, engine="fsm"):
+    if args.engine == "compiled":
+        # The batch path: one-vector batch through the compiled two-plane
+        # program on the selected backend.
+        sorted_words = sort_words_batch(
+            network, [words], engine="compiled", backend=args.backend
+        )[0]
+    else:
+        sorted_words = sort_words(network, words, engine=args.engine)
+    for w in sorted_words:
         print(w)
     return 0
 
@@ -110,6 +162,12 @@ def main(argv=None) -> int:
         default=None,
         help="approximate pair-lanes per shard (default: auto)",
     )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="plane backend (default: bigint, or $REPRO_PLANE_BACKEND)",
+    )
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("export", help="emit structural Verilog for 2-sort(B)")
@@ -118,6 +176,18 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("sort", help="sort valid strings (e.g. 0M10 0110 0010)")
     p.add_argument("values", nargs="+")
+    p.add_argument(
+        "--engine",
+        default="fsm",
+        choices=sorted(ENGINES),
+        help="2-sort engine (default: fsm; 'compiled' is the batch path)",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="plane backend for --engine compiled",
+    )
     p.set_defaults(fn=_cmd_sort)
 
     args = parser.parse_args(argv)

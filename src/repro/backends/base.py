@@ -1,0 +1,227 @@
+"""The plane-backend interface: pluggable storage for two-plane batches.
+
+Everything hot in this codebase runs on **planes** -- bitmaps with one
+bit per *lane* (batch vector), two per net (:mod:`repro.circuits.compiled`).
+Until this package existed the plane representation was hardcoded as
+arbitrary-precision Python ints; a :class:`PlaneBackend` abstracts that
+choice so the same compiled programs, verification sweeps, and batch
+simulations can run on fixed-width word arrays (numpy, stdlib
+``array``) -- the bit-slicing-over-words layout that trades big-int
+carry chains for vectorized word ops.
+
+A backend owns four concerns:
+
+* **allocation / packing** -- :meth:`~PlaneBackend.zeros`,
+  :meth:`~PlaneBackend.ones`, :meth:`~PlaneBackend.from_int`,
+  :meth:`~PlaneBackend.from_bytes`, and the inverse conversions
+  (:meth:`~PlaneBackend.to_int`, :meth:`~PlaneBackend.to_bytes`, both
+  little-endian in lane order so every backend round-trips through the
+  same canonical byte form);
+* **plane ops** -- the bitwise AND/OR/XOR/NOT that the two-plane Kleene
+  connectives are built from (``band``/``bor``/``bxor``/``bnot``);
+* **lane addressing** -- :meth:`~PlaneBackend.get_lane`,
+  :meth:`~PlaneBackend.iter_set_lanes` (mismatch-lane extraction for
+  failure reports), :meth:`~PlaneBackend.popcount`;
+* **program execution** -- :meth:`~PlaneBackend.run_ops`, the compiled
+  op sweep over plane slots.  This is *the* hot loop, so each backend
+  specializes it (big-int: inline int operators; numpy: ufuncs into a
+  preallocated slab) instead of paying a virtual call per gate.
+
+Invariant: every plane is **tail-masked** -- bits at lane indices
+``>= lanes`` are zero.  Constructors enforce it, ``bnot`` re-masks, and
+the structural ops (AND/OR/XOR) preserve it, so queries like
+``popcount`` and ``iter_set_lanes`` never see garbage lanes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, Sequence, Tuple
+
+__all__ = ["Plane", "PlaneBackend"]
+
+#: A backend-native plane object (int, numpy array, ``array.array`` ...).
+Plane = Any
+
+#: Compiled-program opcodes (shared with repro.circuits.compiled; defined
+#: here so backends can specialize run_ops without a circular import).
+OP_AND = 0
+OP_OR = 1
+OP_INV = 2
+OP_XOR = 3
+OP_BUF = 4
+
+
+class PlaneBackend(abc.ABC):
+    """Strategy object for one plane representation.
+
+    Subclasses are stateless (safe to share across threads/processes and
+    to key compile caches on ``name``); all methods are pure functions
+    of their arguments.  ``word_bits`` is the preferred lane-word
+    granularity: shard planners align lane budgets to it so no shard
+    ends mid-word (:func:`repro.verify.parallel._default_pair_shard_size`).
+    """
+
+    #: Registry name; also the compile-cache key component.
+    name: str = "abstract"
+    #: Preferred lane-word size in bits (1 bigint byte-walks at 8; word
+    #: backends use their machine word).
+    word_bits: int = 8
+    #: Preferred lanes per verification shard: the batch size at which
+    #: this representation's op sweep runs best (big ints like planes
+    #: that keep the whole slot file cache-resident; word-array backends
+    #: want more lanes per op to amortize per-call overhead).
+    preferred_shard_lanes: int = 1 << 14
+
+    # ------------------------------------------------------------------
+    # Allocation / packing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def zeros(self, lanes: int) -> Plane:
+        """The all-zero plane over ``lanes`` lanes."""
+
+    @abc.abstractmethod
+    def ones(self, lanes: int) -> Plane:
+        """The all-ones (full mask) plane over ``lanes`` lanes."""
+
+    @abc.abstractmethod
+    def from_int(self, value: int, lanes: int) -> Plane:
+        """Pack a non-negative int (bit ``j`` = lane ``j``) into a plane."""
+
+    @abc.abstractmethod
+    def from_bytes(self, data: bytes, lanes: int) -> Plane:
+        """Pack little-endian lane bytes (``ceil(lanes/8)`` of them)."""
+
+    def coerce(self, plane: Plane, lanes: int) -> Plane:
+        """Accept a native plane as-is; convert a plain int.
+
+        The compiled executor takes input planes from both int-space
+        constructions (pair products, encoders) and native
+        :class:`~repro.circuits.compiled.TritVec` planes; this is the
+        single adapter between the two.
+        """
+        if isinstance(plane, int):
+            return self.from_int(plane, lanes)
+        return plane
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def to_int(self, plane: Plane, lanes: int) -> int:
+        """The plane as a Python int (bit ``j`` = lane ``j``)."""
+
+    @abc.abstractmethod
+    def to_bytes(self, plane: Plane, lanes: int) -> bytes:
+        """Exactly ``ceil(lanes/8)`` little-endian lane bytes.
+
+        The canonical form: equal planes on *any* backend produce equal
+        byte strings, which is what cross-backend ``TritVec`` equality
+        and hashing compare.
+        """
+
+    # ------------------------------------------------------------------
+    # Bitwise plane ops
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def band(self, a: Plane, b: Plane) -> Plane:
+        """Bitwise AND."""
+
+    @abc.abstractmethod
+    def bor(self, a: Plane, b: Plane) -> Plane:
+        """Bitwise OR."""
+
+    @abc.abstractmethod
+    def bxor(self, a: Plane, b: Plane) -> Plane:
+        """Bitwise XOR."""
+
+    @abc.abstractmethod
+    def bnot(self, a: Plane, lanes: int) -> Plane:
+        """Bitwise complement, re-masked to ``lanes`` lanes."""
+
+    # ------------------------------------------------------------------
+    # Queries / lane addressing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def eq(self, a: Plane, b: Plane) -> bool:
+        """True iff the planes are bit-identical."""
+
+    @abc.abstractmethod
+    def any(self, a: Plane) -> bool:
+        """True iff any lane bit is set."""
+
+    @abc.abstractmethod
+    def popcount(self, a: Plane) -> int:
+        """Number of set lane bits."""
+
+    @abc.abstractmethod
+    def get_lane(self, a: Plane, lane: int) -> int:
+        """Bit of one lane (0 or 1)."""
+
+    def detach(self, a: Plane) -> Plane:
+        """A self-contained copy of a plane that may alias shared storage.
+
+        ``run_ops`` implementations are free to hand back views into a
+        per-run scratch slab; callers that *retain* planes beyond the
+        run (e.g. wrapping output slots in TritVecs) detach them so one
+        kept output does not pin the whole slab.  Default: planes are
+        already self-contained.
+        """
+        return a
+
+    def iter_set_lanes(self, a: Plane, lanes: int) -> Iterator[int]:
+        """Ascending indices of set lanes (mismatch-lane extraction).
+
+        Default: byte-walk over the canonical form -- O(1) per probed
+        byte, and only failure reporting ever calls it.
+        """
+        raw = self.to_bytes(a, lanes)
+        for byte_index, byte in enumerate(raw):
+            if byte:
+                base = byte_index << 3
+                for bit in range(8):
+                    if byte & (1 << bit):
+                        yield base + bit
+
+    # ------------------------------------------------------------------
+    # Compiled-program execution
+    # ------------------------------------------------------------------
+    def run_ops(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        p0: List[Plane],
+        p1: List[Plane],
+    ) -> None:
+        """Execute a compiled op list over the slot planes, in place.
+
+        ``ops`` entries are ``(opcode, dst, a, b)`` over slot indices
+        (two-plane Kleene semantics, :mod:`repro.circuits.compiled`);
+        input and constant slots of ``p0``/``p1`` are pre-filled, every
+        ``dst`` slot is written exactly once, and planes already stored
+        in slots are never mutated (aliasing buffered copies is safe).
+
+        This generic version is built from the primitive ops; concrete
+        backends override it with a specialized loop.
+        """
+        band, bor, bxor = self.band, self.bor, self.bxor
+        for op, d, a, b in ops:
+            if op == OP_AND:
+                p1[d] = band(p1[a], p1[b])
+                p0[d] = bor(p0[a], p0[b])
+            elif op == OP_OR:
+                p0[d] = band(p0[a], p0[b])
+                p1[d] = bor(p1[a], p1[b])
+            elif op == OP_INV:
+                p0[d] = p1[a]
+                p1[d] = p0[a]
+            elif op == OP_XOR:
+                a0, a1, b0, b1 = p0[a], p1[a], p0[b], p1[b]
+                p0[d] = bor(band(a0, b0), band(a1, b1))
+                p1[d] = bor(band(a0, b1), band(a1, b0))
+            else:  # OP_BUF
+                p0[d] = p0[a]
+                p1[d] = p1[a]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlaneBackend {self.name!r}>"

@@ -4,8 +4,8 @@ The scalar simulator in :mod:`repro.circuits.evaluate` visits every gate
 once *per input vector*, paying Python's interpretation overhead per
 trit.  This module applies classic **bit-slicing** from logic simulation
 to the three-valued domain: a batch of ``n`` ternary values occupying
-one net is packed into **two bit-planes** -- arbitrary-precision Python
-integers whose bit ``j`` describes vector ``j``:
+one net is packed into **two bit-planes** whose bit (lane) ``j``
+describes vector ``j``:
 
 * plane ``p0``: bit set iff the net *can resolve to 0* in vector ``j``,
 * plane ``p1``: bit set iff the net *can resolve to 1* in vector ``j``.
@@ -30,10 +30,21 @@ at once, at C speed:
   batch and scalar semantics agree *by construction* (and the test
   suite re-checks every gate kind over its full ternary truth table).
 
+**Plane storage is pluggable.**  How a plane is represented -- one
+arbitrary-precision int, a numpy ``uint64`` array, a stdlib word array
+-- is owned by a :class:`~repro.backends.PlaneBackend`
+(:mod:`repro.backends`); :class:`TritVec` and :class:`CompiledCircuit`
+are parameterized by one.  The default (``"bigint"``) reproduces the
+original behavior exactly; the ``"array"`` backend trades big-int carry
+chains for fixed-width vectorized word ops.  The backend also owns the
+compiled-op sweep (``run_ops``), so each representation keeps a
+specialized hot loop.
+
 :class:`CompiledCircuit` lowers a :class:`~repro.circuits.netlist.Circuit`
 once into a flat program over integer net slots; :func:`compile_circuit`
-caches the program per netlist identity (keyed on the circuit's mutation
-``version``).  :class:`TritVec` is the user-facing batch value type.
+caches the program per netlist identity, keyed on the circuit's mutation
+``version`` *and* the backend name.  :class:`TritVec` is the
+user-facing batch value type.
 
 Throughput: one gate visit now processes thousands of vectors, which is
 what makes exhaustive verification over all ``|S^B_rg|^2`` valid pairs
@@ -43,14 +54,28 @@ milliseconds instead of minutes (see ``benchmarks/bench_engines.py``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..backends import Plane, PlaneBackend, get_backend
 from ..ternary.trit import Trit, TritLike
 from ..ternary.word import Word
 from .netlist import Circuit, CircuitError, Gate
 from .wire import NetId
 
 __all__ = ["TritVec", "CompiledCircuit", "compile_circuit"]
+
+#: Backend selector accepted by every public entry point: a registry
+#: name, a resolved instance, or None for the process default.
+BackendLike = Union[str, PlaneBackend, None]
 
 
 # ----------------------------------------------------------------------
@@ -60,7 +85,10 @@ class TritVec:
     """An immutable batch of ``n`` trits in two-plane encoding.
 
     Lane ``j`` holds one ternary value; ``p0``/``p1`` are the
-    can-be-0 / can-be-1 planes over all lanes.  Kleene connectives are
+    can-be-0 / can-be-1 planes over all lanes, stored in the
+    representation of ``backend`` (plain ints on the default ``bigint``
+    backend -- plane ints passed to the constructor are validated and
+    packed for whichever backend is selected).  Kleene connectives are
     provided as operators so a :class:`TritVec` behaves like ``n``
     trits evaluated simultaneously::
 
@@ -68,23 +96,40 @@ class TritVec:
         >>> b = TritVec.broadcast("M", 3)
         >>> (a & b).to_str()
         '0MM'
+
+    Equality and hashing are *content*-based across backends: the same
+    trits on ``bigint`` and ``array`` planes compare equal.
     """
 
-    __slots__ = ("n", "p0", "p1")
+    __slots__ = ("n", "p0", "p1", "backend")
 
-    def __init__(self, n: int, p0: int, p1: int):
+    def __init__(self, n: int, p0, p1, backend: BackendLike = None):
+        be = get_backend(backend)
         if n < 0:
             raise ValueError("TritVec length must be >= 0")
-        mask = (1 << n) - 1
-        if not (0 <= p0 <= mask and 0 <= p1 <= mask):
-            raise ValueError(f"planes out of range for {n} lanes")
-        if p0 | p1 != mask:
-            raise ValueError(
-                "every lane must encode a trit: plane union must be all-ones"
-            )
+        if isinstance(p0, int) and isinstance(p1, int):
+            mask = (1 << n) - 1
+            if not (0 <= p0 <= mask and 0 <= p1 <= mask):
+                raise ValueError(f"planes out of range for {n} lanes")
+            if p0 | p1 != mask:
+                raise ValueError(
+                    "every lane must encode a trit: plane union must be "
+                    "all-ones"
+                )
+            p0 = be.from_int(p0, n)
+            p1 = be.from_int(p1, n)
+        else:
+            p0 = be.coerce(p0, n)
+            p1 = be.coerce(p1, n)
+            if not be.eq(be.bor(p0, p1), be.ones(n)):
+                raise ValueError(
+                    "every lane must encode a trit: plane union must be "
+                    "all-ones"
+                )
         object.__setattr__(self, "n", n)
         object.__setattr__(self, "p0", p0)
         object.__setattr__(self, "p1", p1)
+        object.__setattr__(self, "backend", be)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("TritVec is immutable")
@@ -93,7 +138,11 @@ class TritVec:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_trits(cls, values: Union[str, Iterable[TritLike]]) -> "TritVec":
+    def from_trits(
+        cls,
+        values: Union[str, Iterable[TritLike]],
+        backend: BackendLike = None,
+    ) -> "TritVec":
         """Pack a sequence of trit-likes; lane ``j`` is ``values[j]``."""
         if isinstance(values, str):
             trits = [Trit.from_char(c) for c in values]
@@ -110,16 +159,38 @@ class TritVec:
                 b0[j >> 3] |= bit
             if t is not Trit.ZERO:
                 b1[j >> 3] |= bit
-        return cls(n, int.from_bytes(b0, "little"), int.from_bytes(b1, "little"))
+        be = get_backend(backend)
+        vec = object.__new__(cls)
+        object.__setattr__(vec, "n", n)
+        object.__setattr__(vec, "p0", be.from_bytes(bytes(b0), n))
+        object.__setattr__(vec, "p1", be.from_bytes(bytes(b1), n))
+        object.__setattr__(vec, "backend", be)
+        return vec
 
     @classmethod
-    def broadcast(cls, value: TritLike, n: int) -> "TritVec":
+    def broadcast(
+        cls, value: TritLike, n: int, backend: BackendLike = None
+    ) -> "TritVec":
         """All ``n`` lanes hold the same trit."""
         t = Trit.coerce(value)
-        mask = (1 << n) - 1
-        p0 = mask if t is not Trit.ONE else 0
-        p1 = mask if t is not Trit.ZERO else 0
-        return cls(n, p0, p1)
+        be = get_backend(backend)
+        vec = object.__new__(cls)
+        ones, zeros = be.ones(n), be.zeros(n)
+        object.__setattr__(vec, "n", n)
+        object.__setattr__(vec, "p0", zeros if t is Trit.ONE else ones)
+        object.__setattr__(vec, "p1", zeros if t is Trit.ZERO else ones)
+        object.__setattr__(vec, "backend", be)
+        return vec
+
+    @classmethod
+    def _wrap(cls, n: int, p0: Plane, p1: Plane, be: PlaneBackend) -> "TritVec":
+        """Internal: adopt already-valid native planes without rechecking."""
+        vec = object.__new__(cls)
+        object.__setattr__(vec, "n", n)
+        object.__setattr__(vec, "p0", p0)
+        object.__setattr__(vec, "p1", p1)
+        object.__setattr__(vec, "backend", be)
+        return vec
 
     # ------------------------------------------------------------------
     # Sequence-ish access
@@ -132,8 +203,9 @@ class TritVec:
             j += self.n
         if not 0 <= j < self.n:
             raise IndexError(f"lane {j} out of range for {self.n} lanes")
-        z = (self.p0 >> j) & 1
-        o = (self.p1 >> j) & 1
+        be = self.backend
+        z = be.get_lane(self.p0, j)
+        o = be.get_lane(self.p1, j)
         if z and o:
             return Trit.META
         return Trit.ZERO if z else Trit.ONE
@@ -141,9 +213,9 @@ class TritVec:
     def to_trits(self) -> List[Trit]:
         """All lanes as a list (bulk path; O(1) per lane via bytes)."""
         n = self.n
-        nbytes = (n + 7) >> 3
-        b0 = self.p0.to_bytes(nbytes, "little")
-        b1 = self.p1.to_bytes(nbytes, "little")
+        be = self.backend
+        b0 = be.to_bytes(self.p0, n)
+        b1 = be.to_bytes(self.p1, n)
         out: List[Trit] = []
         for j in range(n):
             bit = 1 << (j & 7)
@@ -161,39 +233,73 @@ class TritVec:
     @property
     def metastable_lanes(self) -> int:
         """Number of lanes holding ``M`` (popcount of the plane overlap)."""
-        return bin(self.p0 & self.p1).count("1")
+        be = self.backend
+        return be.popcount(be.band(self.p0, self.p1))
 
     # ------------------------------------------------------------------
     # Kleene connectives (Table 3, batched)
     # ------------------------------------------------------------------
-    def _check(self, other: "TritVec") -> None:
+    def _check(self, other: "TritVec") -> "PlaneBackend":
         if self.n != other.n:
             raise ValueError(f"lane-count mismatch: {self.n} vs {other.n}")
+        if self.backend is not other.backend:
+            raise ValueError(
+                f"plane-backend mismatch: {self.backend.name} vs "
+                f"{other.backend.name}"
+            )
+        return self.backend
 
     def __and__(self, other: "TritVec") -> "TritVec":
-        self._check(other)
-        return TritVec(self.n, self.p0 | other.p0, self.p1 & other.p1)
+        be = self._check(other)
+        return TritVec._wrap(
+            self.n,
+            be.bor(self.p0, other.p0),
+            be.band(self.p1, other.p1),
+            be,
+        )
 
     def __or__(self, other: "TritVec") -> "TritVec":
-        self._check(other)
-        return TritVec(self.n, self.p0 & other.p0, self.p1 | other.p1)
+        be = self._check(other)
+        return TritVec._wrap(
+            self.n,
+            be.band(self.p0, other.p0),
+            be.bor(self.p1, other.p1),
+            be,
+        )
 
     def __invert__(self) -> "TritVec":
-        return TritVec(self.n, self.p1, self.p0)
+        return TritVec._wrap(self.n, self.p1, self.p0, self.backend)
 
     def xor(self, other: "TritVec") -> "TritVec":
-        self._check(other)
+        be = self._check(other)
         a0, a1, b0, b1 = self.p0, self.p1, other.p0, other.p1
-        return TritVec(self.n, (a0 & b0) | (a1 & b1), (a0 & b1) | (a1 & b0))
+        return TritVec._wrap(
+            self.n,
+            be.bor(be.band(a0, b0), be.band(a1, b1)),
+            be.bor(be.band(a0, b1), be.band(a1, b0)),
+            be,
+        )
 
     # ------------------------------------------------------------------
+    def _canonical(self) -> Tuple[int, bytes, bytes]:
+        be = self.backend
+        return (
+            self.n,
+            be.to_bytes(self.p0, self.n),
+            be.to_bytes(self.p1, self.n),
+        )
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, TritVec):
-            return (self.n, self.p0, self.p1) == (other.n, other.p0, other.p1)
+            if self.backend is other.backend and self.n == other.n:
+                return self.backend.eq(self.p0, other.p0) and self.backend.eq(
+                    self.p1, other.p1
+                )
+            return self._canonical() == other._canonical()
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash((self.n, self.p0, self.p1))
+        return hash(self._canonical())
 
     def __repr__(self) -> str:
         if self.n <= 64:
@@ -204,7 +310,8 @@ class TritVec:
 # ----------------------------------------------------------------------
 # The compiled program
 # ----------------------------------------------------------------------
-# Primitive opcodes over (p0, p1) slot pairs.
+# Primitive opcodes over (p0, p1) slot pairs.  Mirrored in
+# repro.backends.base so backends can specialize the op sweep.
 _OP_AND = 0
 _OP_OR = 1
 _OP_INV = 2
@@ -237,14 +344,17 @@ class CompiledCircuit:
     of primitive ops over integer *slots* (one slot per net, plus
     temporaries for composite cells).  :meth:`evaluate_batch` then runs
     the whole program over a batch of input vectors, each bitwise op
-    processing every vector simultaneously.
+    processing every vector simultaneously.  Plane storage and the op
+    sweep belong to the program's ``backend``
+    (:class:`~repro.backends.PlaneBackend`).
 
     Instances are immutable snapshots: they record the circuit's
     mutation ``version`` at compile time, and :func:`compile_circuit`
     recompiles automatically when the netlist changes.
     """
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, backend: BackendLike = None):
+        self.backend: PlaneBackend = get_backend(backend)
         self.name = circuit.name
         self.version = circuit.version
         order = circuit.topological_gates()  # validates structure
@@ -336,48 +446,36 @@ class CompiledCircuit:
     # Core executor
     # ------------------------------------------------------------------
     def run_planes(
-        self, input_planes: Sequence[Tuple[int, int]], n_vectors: int
-    ) -> Tuple[List[int], List[int]]:
+        self, input_planes: Sequence[Tuple[Plane, Plane]], n_vectors: int
+    ) -> Tuple[List[Plane], List[Plane]]:
         """Execute the program on raw planes; returns all slot planes.
 
         ``input_planes[i]`` is the ``(p0, p1)`` pair for primary input
-        ``i`` over ``n_vectors`` lanes.  Callers project the returned
-        per-slot plane lists through :attr:`output_slots` or
-        :attr:`net_slot`.
+        ``i`` over ``n_vectors`` lanes -- plain ints and backend-native
+        planes are both accepted (``backend.coerce``).  Callers project
+        the returned per-slot plane lists through :attr:`output_slots`
+        or :attr:`net_slot`; the planes are native to :attr:`backend`.
         """
         if len(input_planes) != self.n_inputs:
             raise ValueError(
                 f"{self.name}: expected planes for {self.n_inputs} inputs, "
                 f"got {len(input_planes)}"
             )
-        mask = (1 << n_vectors) - 1
-        p0 = [0] * self.n_slots
-        p1 = [0] * self.n_slots
+        be = self.backend
+        zero = be.zeros(n_vectors)
+        p0: List[Plane] = [zero] * self.n_slots
+        p1: List[Plane] = [zero] * self.n_slots
         for slot, (a0, a1) in zip(self.input_slots, input_planes):
-            p0[slot] = a0
-            p1[slot] = a1
-        for slot, value in self.const_slots:
-            if value is Trit.ONE:
-                p1[slot] = mask
-            else:
-                p0[slot] = mask
-        for op, d, a, b in self.ops:
-            if op == _OP_AND:
-                p1[d] = p1[a] & p1[b]
-                p0[d] = p0[a] | p0[b]
-            elif op == _OP_OR:
-                p0[d] = p0[a] & p0[b]
-                p1[d] = p1[a] | p1[b]
-            elif op == _OP_INV:
-                p0[d] = p1[a]
-                p1[d] = p0[a]
-            elif op == _OP_XOR:
-                a0, a1, b0, b1 = p0[a], p1[a], p0[b], p1[b]
-                p1[d] = (a0 & b1) | (a1 & b0)
-                p0[d] = (a0 & b0) | (a1 & b1)
-            else:  # _OP_BUF
-                p0[d] = p0[a]
-                p1[d] = p1[a]
+            p0[slot] = be.coerce(a0, n_vectors)
+            p1[slot] = be.coerce(a1, n_vectors)
+        if self.const_slots:
+            full = be.ones(n_vectors)
+            for slot, value in self.const_slots:
+                if value is Trit.ONE:
+                    p1[slot] = full
+                else:
+                    p0[slot] = full
+        be.run_ops(self.ops, p0, p1)
         return p0, p1
 
     # ------------------------------------------------------------------
@@ -389,7 +487,9 @@ class CompiledCircuit:
         """Pack input vectors into per-input planes.
 
         Each vector supplies all primary inputs for one lane, in the
-        circuit's input order (a :class:`Word` works directly).
+        circuit's input order (a :class:`Word` works directly).  Planes
+        are returned as plain ints -- the backend-agnostic interchange
+        form that :meth:`run_planes` coerces on entry.
         """
         n = len(input_vectors)
         ni = self.n_inputs
@@ -417,12 +517,12 @@ class CompiledCircuit:
         return planes, n
 
     def decode_outputs(
-        self, p0: Sequence[int], p1: Sequence[int], n_vectors: int
+        self, p0: Sequence[Plane], p1: Sequence[Plane], n_vectors: int
     ) -> List[Word]:
         """Unpack output planes into one :class:`Word` per lane."""
-        nbytes = (n_vectors + 7) >> 3
+        be = self.backend
         outs = [
-            (p0[s].to_bytes(nbytes, "little"), p1[s].to_bytes(nbytes, "little"))
+            (be.to_bytes(p0[s], n_vectors), be.to_bytes(p1[s], n_vectors))
             for s in self.output_slots
         ]
         meta, zero, one = Trit.META, Trit.ZERO, Trit.ONE
@@ -440,11 +540,12 @@ class CompiledCircuit:
         return words
 
     def decode_lane(
-        self, p0: Sequence[int], p1: Sequence[int], lane: int
+        self, p0: Sequence[Plane], p1: Sequence[Plane], lane: int
     ) -> Word:
         """Output word of a single lane (per-lane slow path)."""
+        be = self.backend
         return Word(
-            trit_from_planes((p0[s] >> lane) & 1, (p1[s] >> lane) & 1)
+            trit_from_planes(be.get_lane(p0[s], lane), be.get_lane(p1[s], lane))
             for s in self.output_slots
         )
 
@@ -469,38 +570,65 @@ class CompiledCircuit:
     def run_tritvecs(self, inputs: Sequence[TritVec]) -> List[TritVec]:
         """Batch-evaluate with :class:`TritVec` per input net.
 
-        ``inputs[i]`` carries input ``i`` across all lanes; returns one
-        :class:`TritVec` per primary output.  This is the zero-copy path
-        used by the batched sorting-network simulator.
+        ``inputs[i]`` carries input ``i`` across all lanes and must live
+        on this program's backend; returns one :class:`TritVec` per
+        primary output.  This is the zero-copy path used by the batched
+        sorting-network simulator.
         """
         if not inputs and self.n_inputs:
             raise ValueError(f"{self.name}: expected {self.n_inputs} inputs")
+        be = self.backend
         n = inputs[0].n if inputs else 0
         for tv in inputs:
             if tv.n != n:
                 raise ValueError("all input TritVecs must have equal lanes")
+            if tv.backend is not be:
+                raise ValueError(
+                    f"{self.name}: input TritVec on backend "
+                    f"{tv.backend.name!r}, program compiled for {be.name!r}"
+                )
         planes = [(tv.p0, tv.p1) for tv in inputs]
         p0, p1 = self.run_planes(planes, n)
-        return [TritVec(n, p0[s], p1[s]) for s in self.output_slots]
+        # detach: keep only the output planes alive, not the whole
+        # per-run scratch storage some backends return views into.
+        return [
+            TritVec._wrap(n, be.detach(p0[s]), be.detach(p1[s]), be)
+            for s in self.output_slots
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CompiledCircuit({self.name!r}, inputs={self.n_inputs}, "
-            f"outputs={self.n_outputs}, ops={len(self.ops)})"
+            f"outputs={self.n_outputs}, ops={len(self.ops)}, "
+            f"backend={self.backend.name!r})"
         )
 
 
-def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+def compile_circuit(
+    circuit: Circuit, backend: BackendLike = None
+) -> CompiledCircuit:
     """Compile ``circuit``, caching the program on the netlist itself.
 
-    The cache is keyed on the circuit's mutation ``version``: adding a
-    gate, input, output, or constant invalidates it and the next call
-    recompiles.  Identity-keyed caching means independent circuits never
-    share programs even when structurally equal.
+    The cache is keyed on ``(circuit.version, backend.name)``: adding a
+    gate, input, output, or constant invalidates every entry and the
+    next call recompiles; requesting a different plane backend compiles
+    a sibling program without evicting the others.  Identity-keyed
+    caching means independent circuits never share programs even when
+    structurally equal.
     """
-    cached: Optional[CompiledCircuit] = getattr(circuit, "_compiled_cache", None)
-    if cached is not None and cached.version == circuit.version:
-        return cached
-    program = CompiledCircuit(circuit)
-    circuit._compiled_cache = program
+    be = get_backend(backend)
+    cache: Optional[Dict[str, CompiledCircuit]] = getattr(
+        circuit, "_compiled_cache", None
+    )
+    if not isinstance(cache, dict) or any(
+        p.version != circuit.version for p in cache.values()
+    ):
+        cache = {}
+        circuit._compiled_cache = cache
+    program = cache.get(be.name)
+    # `backend is not be` catches a re-registered backend instance under
+    # the same name (tests swap the numpy/fallback array variants).
+    if program is None or program.backend is not be:
+        program = CompiledCircuit(circuit, be)
+        cache[be.name] = program
     return program

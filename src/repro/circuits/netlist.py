@@ -61,6 +61,15 @@ class Circuit:
         self._input_frozen: Optional[frozenset] = None
         self._version = 0
 
+    def __getstate__(self):
+        # Compiled programs (repro.circuits.compiled attaches them as
+        # `_compiled_cache`) are per-process artifacts: pool workers
+        # recompile in their initializer, and shipping them would drag
+        # the plane backend across the pickle boundary.
+        state = self.__dict__.copy()
+        state.pop("_compiled_cache", None)
+        return state
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

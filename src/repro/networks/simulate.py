@@ -33,7 +33,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..circuits.compiled import TritVec, compile_circuit
+from ..backends import PlaneBackend, get_backend
+from ..circuits.compiled import BackendLike, TritVec, compile_circuit
 from ..circuits.evaluate import evaluate_interpreted
 from ..core.functional import two_sort_via_fsm
 from ..core.two_sort import build_two_sort
@@ -108,6 +109,7 @@ def sort_words_batch(
     jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
     executor: Optional[str] = None,
+    backend: BackendLike = None,
 ) -> List[List[Word]]:
     """Sort many measurement vectors through ``network`` at once.
 
@@ -130,6 +132,10 @@ def sort_words_batch(
     worker per core; ``jobs=1`` alone keeps the single-process path.
     This is the million-vector path: each worker runs the compiled
     batch on its own shard.
+
+    ``backend`` selects the plane representation for the ``"compiled"``
+    engine (:mod:`repro.backends`; other engines have no planes and
+    ignore it).  It is forwarded to shard workers by name.
     """
     _engine_fn(engine)  # uniform validation, even for the empty batch
     vectors = [list(v) for v in vectors]
@@ -149,7 +155,7 @@ def sort_words_batch(
     # e.g. an unknown executor name raises regardless of batch size.
     if jobs not in (None, 1) or shard_size is not None or executor is not None:
         return _sort_words_batch_sharded(
-            network, vectors, engine, jobs, shard_size, executor
+            network, vectors, engine, jobs, shard_size, executor, backend
         )
     if engine != "compiled":
         return [sort_words(network, v, engine=engine) for v in vectors]
@@ -157,12 +163,13 @@ def sort_words_batch(
         return []
     width = len(vectors[0][0])
 
-    program = compile_circuit(_cached_circuit(width))
+    be = get_backend(backend)
+    program = compile_circuit(_cached_circuit(width), be)
     n = len(vectors)
     # state[c][b]: bit b of channel c across all n lanes.
     state: List[List[TritVec]] = [
         [
-            TritVec.from_trits([vec[c][b] for vec in vectors])
+            TritVec.from_trits([vec[c][b] for vec in vectors], backend=be)
             for b in range(width)
         ]
         for c in range(network.channels)
@@ -203,14 +210,20 @@ def _check_batch_shapes(
 _BATCH_STATE: Dict[str, Any] = {}
 
 
-def _init_batch_worker(network: SortingNetwork, engine: str) -> None:
+def _init_batch_worker(
+    network: SortingNetwork, engine: str, backend: BackendLike = None
+) -> None:
     _BATCH_STATE["network"] = network
     _BATCH_STATE["engine"] = engine
+    _BATCH_STATE["backend"] = backend
 
 
 def _batch_shard_worker(shard: List[List[Word]]) -> List[List[Word]]:
     return sort_words_batch(
-        _BATCH_STATE["network"], shard, engine=_BATCH_STATE["engine"]
+        _BATCH_STATE["network"],
+        shard,
+        engine=_BATCH_STATE["engine"],
+        backend=_BATCH_STATE.get("backend"),
     )
 
 
@@ -221,12 +234,15 @@ def _sort_words_batch_sharded(
     jobs: int,
     shard_size: Optional[int],
     executor: Optional[str],
+    backend: BackendLike = None,
 ) -> List[List[Word]]:
     """Dispatch vector shards over the executor registry and concatenate."""
     from ..verify.parallel import default_jobs, plan_shards, run_sharded
 
     # None and 0 both mean "one worker per core", matching run_sharded.
     jobs = default_jobs() if not jobs else max(1, jobs)
+    if isinstance(backend, PlaneBackend):
+        backend = backend.name  # keep pool initargs picklable
     if shard_size is None:
         shard_size = -(-len(vectors) // (4 * jobs))  # ~4 shards per worker
     tasks = [vectors[lo:hi] for lo, hi in plan_shards(len(vectors), shard_size)]
@@ -237,7 +253,7 @@ def _sort_words_batch_sharded(
             jobs=jobs,
             executor=executor,
             initializer=_init_batch_worker,
-            initargs=(network, engine),
+            initargs=(network, engine, backend),
         )
     finally:
         _BATCH_STATE.clear()  # serial executors run in-process; drop the refs

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterable, List, Optional, Tuple
 
-from ..circuits.compiled import compile_circuit
+from ..backends import PlaneBackend, get_backend
+from ..circuits.compiled import BackendLike, compile_circuit
 from ..circuits.netlist import Circuit
 from ..graycode.ops import two_sort_closure
 from ..graycode.valid import all_valid_strings, is_valid
@@ -172,18 +173,6 @@ def _select_mask(width: int, g_lo: int, g_hi: int) -> int:
     return sel
 
 
-def _set_bit_lanes(mask: int, lanes: int) -> Iterable[int]:
-    """Indices of set bits (byte-walk, O(1) per probe on big ints)."""
-    nbytes = (lanes + 7) >> 3
-    raw = mask.to_bytes(nbytes, "little")
-    for byte_index, byte in enumerate(raw):
-        if byte:
-            base = byte_index << 3
-            for bit in range(8):
-                if byte & (1 << bit):
-                    yield base + bit
-
-
 def check_two_sort_shape(circuit: Circuit, width: int) -> None:
     if len(circuit.inputs) != 2 * width or len(circuit.outputs) != 2 * width:
         raise ValueError(
@@ -222,37 +211,51 @@ def verify_two_sort_shard(
     """Verify one g-row shard of the pair domain against the closure.
 
     ``program`` is the :class:`~repro.circuits.compiled.CompiledCircuit`
-    of a shape-checked 2-sort(``width``) netlist.  Pure function of its
-    arguments, so shards can run in any process and their results merge
-    deterministically (:meth:`VerificationResult.merge`).
+    of a shape-checked 2-sort(``width``) netlist; the sweep runs on the
+    program's plane backend, so results are bit-identical for any
+    backend choice.  Pure function of its arguments, so shards can run
+    in any process and their results merge deterministically
+    (:meth:`VerificationResult.merge`).
     """
     strings = all_valid_strings(width)
     S = len(strings)
     result = VerificationResult()
 
-    planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
-    p0, p1 = program.run_planes(planes, lanes)
-    sel = _select_mask(width, g_lo, g_hi)
-    nsel = ((1 << lanes) - 1) ^ sel
-    g_planes = planes[:width]
-    h_planes = planes[width:]
+    be: PlaneBackend = program.backend
+    int_planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
+    # The big-int pair product is packed into backend planes exactly
+    # once per shard; run_planes accepts the native planes as-is, and
+    # the expected-output comparison below reuses them.
+    native = [
+        (be.from_int(a0, lanes), be.from_int(a1, lanes))
+        for a0, a1 in int_planes
+    ]
+    p0, p1 = program.run_planes(native, lanes)
+    sel = be.from_int(_select_mask(width, g_lo, g_hi), lanes)
+    nsel = be.bnot(sel, lanes)
+    g_planes = native[:width]
+    h_planes = native[width:]
 
-    diff = 0
+    diff = be.zeros(lanes)
     for b in range(width):
         # Expected max bit b: g's bit where sel, else h's.
-        e0 = (sel & g_planes[b][0]) | (nsel & h_planes[b][0])
-        e1 = (sel & g_planes[b][1]) | (nsel & h_planes[b][1])
+        e0 = be.bor(be.band(sel, g_planes[b][0]), be.band(nsel, h_planes[b][0]))
+        e1 = be.bor(be.band(sel, g_planes[b][1]), be.band(nsel, h_planes[b][1]))
         s_max = program.output_slots[b]
-        diff |= (p0[s_max] ^ e0) | (p1[s_max] ^ e1)
+        diff = be.bor(
+            diff, be.bor(be.bxor(p0[s_max], e0), be.bxor(p1[s_max], e1))
+        )
         # Expected min bit b: the complementary selection.
-        e0 = (sel & h_planes[b][0]) | (nsel & g_planes[b][0])
-        e1 = (sel & h_planes[b][1]) | (nsel & g_planes[b][1])
+        e0 = be.bor(be.band(sel, h_planes[b][0]), be.band(nsel, g_planes[b][0]))
+        e1 = be.bor(be.band(sel, h_planes[b][1]), be.band(nsel, g_planes[b][1]))
         s_min = program.output_slots[width + b]
-        diff |= (p0[s_min] ^ e0) | (p1[s_min] ^ e1)
+        diff = be.bor(
+            diff, be.bor(be.bxor(p0[s_min], e0), be.bxor(p1[s_min], e1))
+        )
 
     result.checked += lanes
-    if diff:
-        for lane in _set_bit_lanes(diff, lanes):
+    if be.any(diff):
+        for lane in be.iter_set_lanes(diff, lanes):
             g = strings[g_lo + lane // S]
             h = strings[lane % S]
             out = program.decode_lane(p0, p1, lane)
@@ -266,7 +269,7 @@ def verify_two_sort_shard(
 
 
 def verify_two_sort_circuit(
-    circuit: Circuit, width: int
+    circuit: Circuit, width: int, backend: BackendLike = None
 ) -> VerificationResult:
     """Circuit output == ``(max_rg_M, min_rg_M)`` on *all* valid pairs.
 
@@ -274,32 +277,42 @@ def verify_two_sort_circuit(
     a few bit-parallel sweeps and compared against the Table 2 order
     max/min in plane space (equal to the Definition 2.8 closure on valid
     strings).  Failure messages still quote the closure spec per pair.
+    ``backend`` picks the plane representation
+    (:mod:`repro.backends`; default: the process default) -- the result
+    is bit-identical for every backend.
 
     Single-process; :func:`repro.verify.parallel.verify_two_sort_sharded`
     runs the same shards across a worker pool.
     """
     check_two_sort_shape(circuit, width)
-    program = compile_circuit(circuit)
+    program = compile_circuit(circuit, get_backend(backend))
     return VerificationResult.merge(
         verify_two_sort_shard(program, width, g_lo, g_hi)
-        for g_lo, g_hi in pair_shards(width)
+        for g_lo, g_hi in pair_shards(
+            width, program.backend.preferred_shard_lanes
+        )
     )
 
 
-def verify_containment(circuit: Circuit, width: int) -> VerificationResult:
+def verify_containment(
+    circuit: Circuit, width: int, backend: BackendLike = None
+) -> VerificationResult:
     """Weaker property: outputs are valid strings for all valid inputs.
 
     This is the "containment" contract on its own, checkable even for
-    designs that are not closure-exact.  Circuit evaluation is batched;
-    validity is then checked per decoded output pair.
+    designs that are not closure-exact.  Circuit evaluation is batched
+    (on the selected plane backend); validity is then checked per
+    decoded output pair.
     """
     check_two_sort_shape(circuit, width)
     strings = all_valid_strings(width)
     S = len(strings)
-    program = compile_circuit(circuit)
+    program = compile_circuit(circuit, get_backend(backend))
     result = VerificationResult()
 
-    for g_lo, g_hi in pair_shards(width):
+    for g_lo, g_hi in pair_shards(
+        width, program.backend.preferred_shard_lanes
+    ):
         planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
         p0, p1 = program.run_planes(planes, lanes)
         outputs = program.decode_outputs(p0, p1, lanes)

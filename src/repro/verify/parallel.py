@@ -24,10 +24,15 @@ Two executors ship by default:
   per worker (compiling the circuit there, so the netlist is pickled
   once and the program is reused across that worker's shards).
 
-:func:`register_executor` is the backend hook: future plane backends
-(numpy/array planes, an async service fan-out) plug in under a new name
-without touching the callers, exactly like the engine registry in
-:mod:`repro.networks.simulate`.
+:func:`register_executor` is the backend hook, exactly like the engine
+registry in :mod:`repro.networks.simulate`.  The ``"array"`` executor
+uses it: an in-process executor that pins the ``array`` plane backend
+(:mod:`repro.backends`) for its tasks, so ``--jobs 1 --backend array``
+semantics are reachable purely by executor name, with no caller
+changes.  Orthogonally, every sharded entry point takes a ``backend``
+argument that the pool initializers forward to workers **by name**, so
+any executor can run any plane representation (process pools pickle
+the name, never the backend object).
 
 **Determinism.**  Executors must return results in task order; callers
 merge with :meth:`VerificationResult.merge` (or plain concatenation for
@@ -41,10 +46,11 @@ import multiprocessing
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..circuits.compiled import compile_circuit
+from ..backends import PlaneBackend, get_backend, use_backend
+from ..circuits.compiled import BackendLike, compile_circuit
 from ..circuits.netlist import Circuit
 from .exhaustive import (
-    _MAX_LANES,
+    _MAX_SHARD_LANES,
     VerificationResult,
     check_two_sort_shape,
     pair_shards,
@@ -136,8 +142,30 @@ def _process_executor(
         return pool.map(worker, tasks, chunksize=1)
 
 
+def _array_executor(
+    worker: Worker,
+    tasks: Sequence[Any],
+    jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[Any]:
+    """In-process executor pinned to the ``array`` plane backend.
+
+    The ROADMAP's registry hook made concrete: selecting
+    ``executor="array"`` runs the serial loop with the process-default
+    plane backend scoped to ``"array"``, so initializers that compile
+    with the default backend pick up numpy/word-array planes without
+    any caller passing a backend around.  An explicit ``backend=``
+    argument on the caller still wins (it reaches the initializer as a
+    name and overrides the scoped default).
+    """
+    with use_backend("array"):
+        return _serial_executor(worker, tasks, jobs, initializer, initargs)
+
+
 register_executor("serial", _serial_executor)
 register_executor("process", _process_executor)
+register_executor("array", _array_executor)
 
 
 def run_sharded(
@@ -175,8 +203,12 @@ def run_sharded(
 _VERIFY_STATE: Dict[str, Any] = {}
 
 
-def _init_verify_worker(circuit: Circuit) -> None:
-    _VERIFY_STATE["program"] = compile_circuit(circuit)
+def _init_verify_worker(
+    circuit: Circuit, backend: BackendLike = None
+) -> None:
+    # `backend` arrives as a registry name (or None for the executor /
+    # process default) so the initargs stay picklable for pool workers.
+    _VERIFY_STATE["program"] = compile_circuit(circuit, get_backend(backend))
 
 
 def _verify_shard_worker(task: Tuple[int, int, int]) -> VerificationResult:
@@ -184,12 +216,39 @@ def _verify_shard_worker(task: Tuple[int, int, int]) -> VerificationResult:
     return verify_two_sort_shard(_VERIFY_STATE["program"], width, g_lo, g_hi)
 
 
-def _default_pair_shard_size(width: int, jobs: int) -> int:
-    """Lane budget per shard: ~4 shards per worker for load balance,
-    but never above the single-process chunk cap (plane-integer size)."""
+def _default_pair_shard_size(
+    width: int, jobs: int, backend: BackendLike = None
+) -> int:
+    """Lane budget per shard, balanced for the width and plane backend.
+
+    Three forces, in order:
+
+    * **load balance** -- ~4 shards per worker, but never above the
+      backend's preferred per-shard lane count (big-int planes want the
+      slot file cache-resident; word-array planes want enough words per
+      op to amortize call overhead);
+    * **plane-construction/run split at B = 10..13** -- a g-row of the
+      pair product is ``S = 2^(B+1)-1`` lanes, and building its planes
+      costs O(width * S) big-int block work *per row* while the program
+      run costs O(ops * lanes).  Once ``S`` is a sizable fraction of
+      the lane budget (B >= 10), fractional-row remainders would leave
+      shards whose construction/run ratio differs wildly, so the budget
+      is spent on a whole number of g-rows per shard;
+    * **word alignment** -- the result is rounded up to the backend's
+      preferred lane-word size so no shard ends mid-word.
+
+    Deterministic (pinned by ``tests/test_backends.py``) and capped at
+    the hard :data:`~repro.verify.exhaustive._MAX_SHARD_LANES` bound.
+    """
+    be = get_backend(backend)
     S = (1 << (width + 1)) - 1
+    budget = be.preferred_shard_lanes
     per_worker = -(-S * S // max(1, 4 * jobs))  # ceil
-    return min(_MAX_LANES, max(S, per_worker))
+    size = min(budget, max(S, per_worker))
+    if width >= 10:
+        size = max(1, budget // S) * S  # whole g-rows per shard
+    word = max(1, be.word_bits)
+    return min(_MAX_SHARD_LANES, -(-size // word) * word)
 
 
 def verify_two_sort_sharded(
@@ -198,21 +257,34 @@ def verify_two_sort_sharded(
     jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
     executor: Optional[str] = None,
+    backend: BackendLike = None,
 ) -> VerificationResult:
     """Exhaustively verify a 2-sort circuit with sharded execution.
 
     Splits the ``|S^B_rg|^2`` pair domain into lane-block shards
     (:func:`~repro.verify.exhaustive.pair_shards`), dispatches them on
     the chosen executor, and merges the per-shard results in shard
-    order.  For any ``jobs``/``shard_size``/``executor`` the returned
-    :class:`VerificationResult` counts are identical to the
+    order.  For any ``jobs``/``shard_size``/``executor``/``backend``
+    the returned :class:`VerificationResult` counts are identical to the
     single-process :func:`~repro.verify.exhaustive.verify_two_sort_circuit`.
-    ``jobs=None`` or ``0`` means one worker per core.
+    ``jobs=None`` or ``0`` means one worker per core; ``backend`` names
+    a plane backend (:mod:`repro.backends`) and is forwarded to every
+    worker through the pool initializer (by name, so it pickles).
     """
     check_two_sort_shape(circuit, width)
     jobs = default_jobs() if not jobs else max(1, jobs)
+    if isinstance(backend, PlaneBackend):
+        backend = backend.name
     if shard_size is None:
-        shard_size = _default_pair_shard_size(width, jobs)
+        # The executor may scope a different default backend ("array"),
+        # in which case the explicit-backend resolution here still
+        # matches what workers compile: None resolves identically in
+        # both places only for in-process executors, so size by the
+        # effective backend name.
+        size_backend = backend if backend is not None else (
+            "array" if executor == "array" else None
+        )
+        shard_size = _default_pair_shard_size(width, jobs, size_backend)
     tasks = [
         (width, g_lo, g_hi) for g_lo, g_hi in pair_shards(width, shard_size)
     ]
@@ -222,6 +294,6 @@ def verify_two_sort_sharded(
         jobs=jobs,
         executor=executor,
         initializer=_init_verify_worker,
-        initargs=(circuit,),
+        initargs=(circuit, backend),
     )
     return VerificationResult.merge(results)

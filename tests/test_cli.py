@@ -28,7 +28,7 @@ class TestCli:
 
         seen = {}
 
-        def fake_verify(circuit, width):
+        def fake_verify(circuit, width, backend=None):
             seen["width"] = width
             return VerificationResult(checked=1)
 
@@ -53,10 +53,76 @@ class TestCli:
         ) == 0
         assert "961 cases checked: OK" in capsys.readouterr().out
 
+    def test_verify_rejects_negative_jobs(self, capsys):
+        assert main(["verify", "--width", "4", "--jobs", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be >= 0" in err and "-1" in err
+
+    @pytest.mark.parametrize("size", ["0", "-7"])
+    def test_verify_rejects_non_positive_shard_size(self, size, capsys):
+        assert main(["verify", "--width", "4", "--shard-size", size]) == 2
+        err = capsys.readouterr().err
+        assert "--shard-size must be a positive" in err
+
+    def test_verify_validation_happens_before_work(self, monkeypatch, capsys):
+        """Bad arguments must not reach the verification layer at all."""
+        import repro.__main__ as cli
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("verification ran despite bad args")
+
+        monkeypatch.setattr(cli, "verify_two_sort_circuit", boom)
+        monkeypatch.setattr(cli, "verify_two_sort_sharded", boom)
+        assert main(["verify", "--width", "4", "--jobs", "-3"]) == 2
+
+    def test_verify_backend_flag_bit_identical(self, capsys):
+        """--backend array and --backend bigint: same summary, jobs 1+2
+        (the acceptance contract)."""
+        outputs = []
+        for backend in ("bigint", "array"):
+            for jobs in ("1", "2"):
+                assert main(
+                    ["verify", "--width", "5", "--jobs", jobs,
+                     "--backend", backend]
+                ) == 0
+                outputs.append(capsys.readouterr().out)
+        assert all("3969 cases checked: OK" in out for out in outputs)
+        assert len(set(outputs)) == 1
+
+    def test_verify_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--width", "4", "--backend", "gpu"])
+
     def test_sort_command(self, capsys):
         assert main(["sort", "0110", "0M10", "0010", "1000"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines == ["0010", "0M10", "0110", "1000"]
+
+    @pytest.mark.parametrize("engine", ["closure", "rank", "circuit", "compiled"])
+    def test_sort_engine_flag(self, engine, capsys):
+        """Every registered engine is reachable from the CLI and sorts
+        identically (the compiled batch path was unreachable before)."""
+        assert main(
+            ["sort", "0110", "0M10", "0010", "1000", "--engine", engine]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["0010", "0M10", "0110", "1000"]
+
+    def test_sort_engine_compiled_with_backend(self, capsys):
+        assert main(
+            ["sort", "0110", "0M10", "0010", "--engine", "compiled",
+             "--backend", "array"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["0010", "0M10", "0110"]
+
+    def test_sort_backend_requires_compiled_engine(self, capsys):
+        assert main(["sort", "01", "00", "--backend", "array"]) == 2
+        assert "--engine compiled" in capsys.readouterr().err
+
+    def test_sort_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["sort", "01", "00", "--engine", "warp"])
 
     def test_sort_rejects_mixed_widths(self, capsys):
         assert main(["sort", "01", "011"]) == 2
