@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Service demo: submit, stream, cancel, and cache-hit verification jobs.
+
+Spins up the JSON-lines TCP service in-process (the same server
+``python -m repro serve`` runs), then walks the job API end to end:
+
+  1. submit an exhaustive B=8 verification and stream its per-shard
+     progress + result,
+  2. resubmit the same request -- the shard cache answers instantly,
+  3. start a B=10 job and cancel it cooperatively mid-run.
+
+Run:  PYTHONPATH=src python examples/service_demo.py
+
+The same flow works across processes/machines:
+
+  python -m repro serve --port 7421 --jobs 2 &
+  python -m repro submit verify --width 8 --port 7421
+  python -m repro status <job-id> --port 7421
+"""
+
+import asyncio
+
+from repro.service import (
+    AsyncServiceClient,
+    JobManager,
+    ReproServer,
+    VerifyRequest,
+)
+
+
+async def main() -> None:
+    async with ReproServer(JobManager(jobs=2), port=0) as server:
+        print(f"service up on 127.0.0.1:{server.port}\n")
+        async with AsyncServiceClient(port=server.port) as client:
+            # -- 1. submit + stream ------------------------------------
+            job_id = await client.submit(VerifyRequest(width=8))
+            print(f"[1] submitted B=8 verification as {job_id}")
+            async for event in client.stream(job_id):
+                if event["event"] == "progress":
+                    print(
+                        f"    {event['shards_done']:>3}/"
+                        f"{event['shards_total']} shards  "
+                        f"{event['checked']:>7} pairs checked"
+                    )
+                elif event["event"] == "failure":
+                    print(f"    FAIL {event['message']}")
+            response = await client.result(job_id)
+            result = response["result"]
+            print(
+                f"    -> {response['state']}: {result['checked']} pairs, "
+                f"{result['failure_count']} failures "
+                f"in {result.get('elapsed_s', 0):.3f}s\n"
+            )
+
+            # -- 2. resubmit: the shard cache answers ------------------
+            job_id = await client.submit(VerifyRequest(width=8))
+            response = await client.result(job_id)
+            stats = (await client.jobs())["stats"]["cache"]
+            print(
+                f"[2] resubmitted: {response['state']} again "
+                f"({response['result']['checked']} pairs) -- shard cache "
+                f"{stats['hits']} hits / {stats['misses']} misses\n"
+            )
+
+            # -- 3. cancel a bigger job mid-run ------------------------
+            job_id = await client.submit(VerifyRequest(width=10))
+            print(f"[3] submitted B=10 verification as {job_id}")
+            progress_seen = 0
+            async with AsyncServiceClient(port=server.port) as side:
+                async for event in client.stream(job_id):
+                    if event["event"] == "progress":
+                        progress_seen += 1
+                        if progress_seen == 3:
+                            print("    cancelling after 3 shards...")
+                            await side.cancel(job_id)
+                    elif event["event"] == "done":
+                        done = event
+            print(
+                f"    -> {done['state']} at "
+                f"{done['progress']['shards_done']}/"
+                f"{done['progress']['shards_total']} shards "
+                f"({done['progress']['checked']} pairs checked)"
+            )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

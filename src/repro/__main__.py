@@ -8,27 +8,53 @@ verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --jobs N     shard the sweep across N worker processes (0 = cores)
        --shard-size approximate pair-lanes per shard
        --backend    plane backend: bigint (default) or array (numpy/words)
+       --json       machine-readable result (counts, failures, timing)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
 sort g h [...]      sort valid strings with the paper's circuit
      --engine       2-sort engine (fsm default; compiled = batch path)
      --backend      plane backend for --engine compiled
+     --json         machine-readable sorted output
+serve               run the async job service (JSON lines over TCP)
+     --port/--host  bind address (default 127.0.0.1:7421)
+     --jobs         max concurrently *running* jobs
+     --backend      default plane backend for requests that omit one
+submit verify|sort  submit a job to a running service, stream progress
+                    (stderr) and print the result exactly like the
+                    direct command would
+status JOB_ID       one job's state/progress as JSON
+cancel JOB_ID       request cooperative cancellation
+
+``verify`` and ``sort`` are thin clients of the same typed request
+dataclasses (:mod:`repro.service.jobs`) the service executes, so a
+served job and a direct CLI run are the same code path.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
+import time
 
 from .analysis.compare import table7_rows, table8_rows
 from .backends import available_backends
 from .circuits.export import to_verilog
 from .core.two_sort import build_two_sort
-from .graycode.valid import validate
-from .networks.simulate import ENGINES, sort_words, sort_words_batch
-from .networks.topologies import best_known
-from .ternary.word import Word
-from .verify.exhaustive import verify_two_sort_circuit
-from .verify.parallel import verify_two_sort_sharded
+from .graycode.valid import InvalidStringError
+from .networks.simulate import ENGINES
+from .service import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    JobManager,
+    ReproServer,
+    ServiceClient,
+    ServiceError,
+    SortRequest,
+    VerifyRequest,
+)
+from .service.jobs import MAX_VERIFY_WIDTH
+from .verify.exhaustive import VerificationResult
 
 
 def _cmd_table7(_args) -> int:
@@ -69,43 +95,66 @@ def _check_positive_args(args) -> int:
     return 0
 
 
+def _verify_request(args) -> VerifyRequest:
+    return VerifyRequest(
+        width=args.width,
+        jobs=args.jobs,
+        shard_size=args.shard_size,
+        backend=args.backend,
+    )
+
+
+def _print_verify_result(
+    width: int, result: VerificationResult, as_json: bool
+) -> int:
+    if as_json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"2-sort({width}) vs closure spec: {result.summary()}")
+        for failure in result.failures[:5]:
+            print(f"  {failure}")
+    return 0 if result.ok else 1
+
+
 def _cmd_verify(args) -> int:
     bad = _check_positive_args(args)
     if bad:
         return bad
     width = args.width
-    if width > 13:
+    if width > MAX_VERIFY_WIDTH:
         # Sharded across workers the pair domain stays tractable up to
         # B=13 (268M pairs); beyond that 4^B outgrows a CLI run.
         print(
             f"exhaustive verification at B={width} would check "
-            f"{((1 << (width + 1)) - 1) ** 2:,} pairs; use B <= 13",
+            f"{((1 << (width + 1)) - 1) ** 2:,} pairs; "
+            f"use B <= {MAX_VERIFY_WIDTH}",
             file=sys.stderr,
         )
         return 2
-    circuit = build_two_sort(width)
-    if args.jobs == 1 and args.shard_size is None:
-        result = verify_two_sort_circuit(
-            circuit, width, backend=args.backend
-        )
-    else:
-        # jobs=0 -> one worker per core (verify_two_sort_sharded default)
-        result = verify_two_sort_sharded(
-            circuit,
-            width,
-            jobs=args.jobs or None,
-            shard_size=args.shard_size,
-            backend=args.backend,
-        )
-    print(f"2-sort({width}) vs closure spec: {result.summary()}")
-    for failure in result.failures[:5]:
-        print(f"  {failure}")
-    return 0 if result.ok else 1
+    request = _verify_request(args)
+    try:
+        request.validate()
+    except ValueError as exc:
+        # e.g. width < 1: a usage error, same exit code as the checks above.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    result = request.run()
+    result.elapsed = time.perf_counter() - start
+    return _print_verify_result(width, result, args.json)
 
 
 def _cmd_export(args) -> int:
     sys.stdout.write(to_verilog(build_two_sort(args.width)))
     return 0
+
+
+def _sort_request(args) -> SortRequest:
+    return SortRequest.single(
+        list(args.values),
+        engine=args.engine,
+        backend=args.backend,
+    )
 
 
 def _cmd_sort(args) -> int:
@@ -117,23 +166,239 @@ def _cmd_sort(args) -> int:
             file=sys.stderr,
         )
         return 2
-    words = [validate(Word(s)) for s in args.values]
-    widths = {len(w) for w in words}
-    if len(widths) != 1:
-        print("all inputs must share one width", file=sys.stderr)
+    try:
+        rows = _sort_request(args).run()
+    except InvalidStringError:
+        # Word validity errors propagate (hard usage errors), as before
+        # the service refactor.
+        raise
+    except ValueError as exc:
+        # e.g. mixed widths: a friendly exit 2 from the shared validator.
+        print(exc, file=sys.stderr)
         return 2
-    network = best_known(len(words))
-    if args.engine == "compiled":
-        # The batch path: one-vector batch through the compiled two-plane
-        # program on the selected backend.
-        sorted_words = sort_words_batch(
-            network, [words], engine="compiled", backend=args.backend
-        )[0]
+    sorted_words = rows[0]
+    if args.json:
+        print(json.dumps([str(w) for w in sorted_words]))
     else:
-        sorted_words = sort_words(network, words, engine=args.engine)
-    for w in sorted_words:
-        print(w)
+        for w in sorted_words:
+            print(w)
     return 0
+
+
+# ----------------------------------------------------------------------
+# Service front-end
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    bad = _check_positive_args(args)
+    if bad:
+        return bad
+
+    async def _serve() -> None:
+        import os
+
+        # --jobs 0 follows the verify convention: one (job slot) per core.
+        manager = JobManager(
+            jobs=args.jobs or os.cpu_count() or 1,
+            cache_size=args.cache_size,
+            default_backend=args.backend,
+        )
+        server = ReproServer(manager, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro service listening on {args.host}:{server.port} "
+            f"(max {manager.max_jobs} concurrent jobs)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    except OSError as exc:
+        # Typically EADDRINUSE: a usage error, not a crash.
+        print(
+            f"error: cannot bind {args.host}:{args.port} -- {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _client(args) -> ServiceClient:
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _progress_line(kind: str, event) -> str:
+    line = (
+        f"[{event.get('id')}] {event.get('shards_done')}/"
+        f"{event.get('shards_total')} shards"
+    )
+    if kind == "verify":
+        line += (
+            f", {event.get('checked')} pairs checked, "
+            f"{event.get('failure_count')} failure(s)"
+        )
+    else:
+        line += f", {event.get('items_done')} vector(s) sorted"
+    return line
+
+
+def _cmd_submit(args) -> int:
+    if args.request_kind == "verify":
+        request = _verify_request(args)
+    else:
+        request = _sort_request(args)
+    try:
+        # One validator (the request's own) covers jobs/shard-size/width;
+        # validation failures are usage errors, exit 2.
+        request.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _client(args) as client:
+            job_id = client.submit(request)
+            if args.no_wait:
+                print(job_id)
+                return 0
+            for event in client.stream(job_id):
+                kind = event.get("event")
+                if kind == "progress" and not args.quiet:
+                    print(_progress_line(args.request_kind, event),
+                          file=sys.stderr)
+                elif kind == "failure" and not args.quiet:
+                    print(
+                        f"[{event.get('id')}] FAIL {event.get('message')}",
+                        file=sys.stderr,
+                    )
+            response = client.result(job_id)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(
+            f"error: service at {args.host}:{args.port} -- {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    state = response["state"]
+    if state == "cancelled":
+        print(f"job {job_id} cancelled", file=sys.stderr)
+        return 1
+    if state == "failed":
+        print(f"job {job_id} failed: {response.get('error')}", file=sys.stderr)
+        return 1
+    payload = response["result"]
+    if args.request_kind == "verify":
+        result = VerificationResult(
+            checked=payload["checked"],
+            failure_count=payload["failure_count"],
+            failures=list(payload["failures"]),
+            truncated=payload["truncated"],
+            elapsed=payload.get("elapsed_s"),
+        )
+        return _print_verify_result(args.width, result, args.json)
+    rows = payload["vectors"]
+    if args.json:
+        print(json.dumps(rows[0] if len(rows) == 1 else rows))
+    else:
+        for row in rows:
+            for word in row:
+                print(word)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    try:
+        with _client(args) as client:
+            status = client.status(args.job_id)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(
+            f"error: service at {args.host}:{args.port} -- {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    status.pop("ok", None)
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    try:
+        with _client(args) as client:
+            cancelled = client.cancel(args.job_id)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(
+            f"error: service at {args.host}:{args.port} -- {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"job {args.job_id}: " + ("cancelling" if cancelled else
+                                    "already finished"))
+    return 0 if cancelled else 1
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _add_connection_args(parser) -> None:
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST, help="service host (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="service port (default %(default)s)",
+    )
+
+
+def _add_verify_args(parser) -> None:
+    parser.add_argument("--width", "-B", type=int, default=4)
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for the sharded sweep (0 = all cores)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="approximate pair-lanes per shard (default: auto)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="plane backend (default: bigint, or $REPRO_PLANE_BACKEND)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable result (counts, failures, truncation, timing)",
+    )
+
+
+def _add_sort_args(parser) -> None:
+    parser.add_argument("values", nargs="+")
+    parser.add_argument(
+        "--engine",
+        default="fsm",
+        choices=sorted(ENGINES),
+        help="2-sort engine (default: fsm; 'compiled' is the batch path)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="plane backend for --engine compiled",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the sorted words as JSON"
+    )
 
 
 def main(argv=None) -> int:
@@ -148,26 +413,7 @@ def main(argv=None) -> int:
     sub.add_parser("table8", help="regenerate Table 8").set_defaults(fn=_cmd_table8)
 
     p = sub.add_parser("verify", help="exhaustively verify 2-sort(B)")
-    p.add_argument("--width", "-B", type=int, default=4)
-    p.add_argument(
-        "--jobs",
-        "-j",
-        type=int,
-        default=1,
-        help="worker processes for the sharded sweep (0 = all cores)",
-    )
-    p.add_argument(
-        "--shard-size",
-        type=int,
-        default=None,
-        help="approximate pair-lanes per shard (default: auto)",
-    )
-    p.add_argument(
-        "--backend",
-        default=None,
-        choices=available_backends(),
-        help="plane backend (default: bigint, or $REPRO_PLANE_BACKEND)",
-    )
+    _add_verify_args(p)
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("export", help="emit structural Verilog for 2-sort(B)")
@@ -175,20 +421,66 @@ def main(argv=None) -> int:
     p.set_defaults(fn=_cmd_export)
 
     p = sub.add_parser("sort", help="sort valid strings (e.g. 0M10 0110 0010)")
-    p.add_argument("values", nargs="+")
+    _add_sort_args(p)
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser(
+        "serve", help="run the async job service (JSON lines over TCP)"
+    )
+    _add_connection_args(p)
     p.add_argument(
-        "--engine",
-        default="fsm",
-        choices=sorted(ENGINES),
-        help="2-sort engine (default: fsm; 'compiled' is the batch path)",
+        "--jobs",
+        "-j",
+        type=int,
+        default=2,
+        help="max concurrently running jobs (default %(default)s; "
+        "0 = one per core)",
     )
     p.add_argument(
         "--backend",
         default=None,
         choices=available_backends(),
-        help="plane backend for --engine compiled",
+        help="default plane backend for requests that omit one",
     )
-    p.set_defaults(fn=_cmd_sort)
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=8192,
+        help="shard-cache entries (0 disables; default %(default)s)",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running service and wait for it"
+    )
+    kind_sub = p.add_subparsers(dest="request_kind", required=True)
+    kv = kind_sub.add_parser("verify", help="submit a verification job")
+    _add_verify_args(kv)
+    ks = kind_sub.add_parser("sort", help="submit a sorting job")
+    _add_sort_args(ks)
+    for kp in (kv, ks):
+        _add_connection_args(kp)
+        kp.add_argument(
+            "--no-wait",
+            action="store_true",
+            help="print the job id and exit instead of streaming",
+        )
+        kp.add_argument(
+            "--quiet",
+            action="store_true",
+            help="suppress the progress stream on stderr",
+        )
+        kp.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="show one job's state and progress")
+    p.add_argument("job_id")
+    _add_connection_args(p)
+    p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser("cancel", help="request cooperative job cancellation")
+    p.add_argument("job_id")
+    _add_connection_args(p)
+    p.set_defaults(fn=_cmd_cancel)
 
     args = parser.parse_args(argv)
     return args.fn(args)

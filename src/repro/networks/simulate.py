@@ -30,6 +30,7 @@ the high-throughput path for system-level workloads.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -110,6 +111,8 @@ def sort_words_batch(
     shard_size: Optional[int] = None,
     executor: Optional[str] = None,
     backend: BackendLike = None,
+    on_shard: Optional[Callable[[int, int, Any], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> List[List[Word]]:
     """Sort many measurement vectors through ``network`` at once.
 
@@ -136,6 +139,13 @@ def sort_words_batch(
     ``backend`` selects the plane representation for the ``"compiled"``
     engine (:mod:`repro.backends`; other engines have no planes and
     ignore it).  It is forwarded to shard workers by name.
+
+    ``on_shard(done, total, rows)`` and ``should_stop()`` are the same
+    progress/cancellation hooks as
+    :func:`repro.verify.parallel.verify_two_sort_sharded` (``rows`` is
+    the shard's sorted vectors); passing either routes the batch
+    through the sharded path, and a true ``should_stop`` raises
+    :class:`~repro.verify.parallel.SweepCancelled` between shards.
     """
     _engine_fn(engine)  # uniform validation, even for the empty batch
     vectors = [list(v) for v in vectors]
@@ -153,9 +163,16 @@ def sort_words_batch(
                     )
     # Any sharding argument routes through the executor registry, so
     # e.g. an unknown executor name raises regardless of batch size.
-    if jobs not in (None, 1) or shard_size is not None or executor is not None:
+    if (
+        jobs not in (None, 1)
+        or shard_size is not None
+        or executor is not None
+        or on_shard is not None
+        or should_stop is not None
+    ):
         return _sort_words_batch_sharded(
-            network, vectors, engine, jobs, shard_size, executor, backend
+            network, vectors, engine, jobs, shard_size, executor, backend,
+            on_shard, should_stop,
         )
     if engine != "compiled":
         return [sort_words(network, v, engine=engine) for v in vectors]
@@ -203,27 +220,30 @@ def _check_batch_shapes(
             )
 
 
-#: Per-process state installed by the pool initializer: only the small,
+#: Per-worker state installed by the pool initializer: only the small,
 #: shard-invariant context (network + engine name).  The vector batch is
 #: NOT broadcast -- each task carries just its own slice, so the whole
 #: batch crosses the process boundary exactly once in total.
-_BATCH_STATE: Dict[str, Any] = {}
+#: Thread-local, like ``repro.verify.parallel._VERIFY_STATE``: the
+#: service layer runs concurrent in-process batches on a thread pool,
+#: and multiprocessing pool workers init + run on one thread.
+_BATCH_STATE = threading.local()
 
 
 def _init_batch_worker(
     network: SortingNetwork, engine: str, backend: BackendLike = None
 ) -> None:
-    _BATCH_STATE["network"] = network
-    _BATCH_STATE["engine"] = engine
-    _BATCH_STATE["backend"] = backend
+    _BATCH_STATE.network = network
+    _BATCH_STATE.engine = engine
+    _BATCH_STATE.backend = backend
 
 
 def _batch_shard_worker(shard: List[List[Word]]) -> List[List[Word]]:
     return sort_words_batch(
-        _BATCH_STATE["network"],
+        _BATCH_STATE.network,
         shard,
-        engine=_BATCH_STATE["engine"],
-        backend=_BATCH_STATE.get("backend"),
+        engine=_BATCH_STATE.engine,
+        backend=getattr(_BATCH_STATE, "backend", None),
     )
 
 
@@ -235,6 +255,8 @@ def _sort_words_batch_sharded(
     shard_size: Optional[int],
     executor: Optional[str],
     backend: BackendLike = None,
+    on_shard: Optional[Callable[[int, int, Any], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> List[List[Word]]:
     """Dispatch vector shards over the executor registry and concatenate."""
     from ..verify.parallel import default_jobs, plan_shards, run_sharded
@@ -246,6 +268,15 @@ def _sort_words_batch_sharded(
     if shard_size is None:
         shard_size = -(-len(vectors) // (4 * jobs))  # ~4 shards per worker
     tasks = [vectors[lo:hi] for lo, hi in plan_shards(len(vectors), shard_size)]
+    on_result = None
+    if on_shard is not None:
+        total = len(tasks)
+
+        def on_result(i: int, rows: List[List[Word]]) -> None:
+            # run_sharded fires on_result in task order, so i+1 is the
+            # number of shards done -- same contract as the verify path.
+            on_shard(i + 1, total, rows)
+
     try:
         results = run_sharded(
             _batch_shard_worker,
@@ -254,7 +285,11 @@ def _sort_words_batch_sharded(
             executor=executor,
             initializer=_init_batch_worker,
             initargs=(network, engine, backend),
+            on_result=on_result,
+            should_stop=should_stop,
         )
     finally:
-        _BATCH_STATE.clear()  # serial executors run in-process; drop the refs
+        # Serial executors ran in this thread: drop the refs so a big
+        # network/batch isn't pinned past the call.
+        _BATCH_STATE.__dict__.clear()
     return [row for chunk in results for row in chunk]

@@ -31,9 +31,10 @@ tracks the exact ratio).
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..backends import PlaneBackend, get_backend
 from ..circuits.compiled import BackendLike, compile_circuit
@@ -58,11 +59,22 @@ _MAX_SHARD_LANES = 1 << 22
 
 @dataclass
 class VerificationResult:
-    """Outcome of one exhaustive sweep (or one shard of it)."""
+    """Outcome of one exhaustive sweep (or one shard of it).
+
+    ``failures`` holds at most the first ``limit`` counterexample
+    messages; ``truncated`` is set whenever at least one message was
+    dropped, so no consumer can mistake the capped list for the full
+    report (``failure_count`` always has the true total).  ``elapsed``
+    is optional wall-clock seconds, set by timing-aware callers (the
+    CLI ``--json`` path); it is *not* merged across shards, since
+    summing parallel wall times would be meaningless.
+    """
 
     checked: int = 0
     failure_count: int = 0
     failures: List[str] = field(default_factory=list)
+    truncated: bool = False
+    elapsed: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -72,10 +84,32 @@ class VerificationResult:
         self.failure_count += 1
         if len(self.failures) < limit:
             self.failures.append(message)
+        else:
+            self.truncated = True
 
     def summary(self) -> str:
-        status = "OK" if self.ok else f"{self.failure_count} FAILURES"
+        if self.ok:
+            return f"{self.checked} cases checked: OK"
+        status = f"{self.failure_count} FAILURES"
+        if self.truncated:
+            status += f" (first {len(self.failures)} shown)"
         return f"{self.checked} cases checked: {status}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (the CLI ``--json`` / service payload)."""
+        out: Dict[str, Any] = {
+            "checked": self.checked,
+            "ok": self.ok,
+            "failure_count": self.failure_count,
+            "failures": list(self.failures),
+            "truncated": self.truncated,
+        }
+        if self.elapsed is not None:
+            out["elapsed_s"] = round(self.elapsed, 6)
+        return out
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
 
     @classmethod
     def merge(
@@ -86,14 +120,19 @@ class VerificationResult:
         Counts are summed; failure messages are concatenated in shard
         order and capped at ``limit``, so a sharded sweep reports exactly
         what the equivalent single sweep over the same shard order would.
+        ``truncated`` is propagated from any input and also set when the
+        cap drops messages here.
         """
         merged = cls()
         for r in results:
             merged.checked += r.checked
             merged.failure_count += r.failure_count
+            merged.truncated = merged.truncated or r.truncated
             for message in r.failures:
                 if len(merged.failures) < limit:
                     merged.failures.append(message)
+                else:
+                    merged.truncated = True
         return merged
 
 

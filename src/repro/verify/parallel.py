@@ -42,8 +42,10 @@ batch workloads), so the outcome is bit-identical for any job count --
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..backends import PlaneBackend, get_backend, use_backend
@@ -58,6 +60,7 @@ from .exhaustive import (
 )
 
 __all__ = [
+    "SweepCancelled",
     "available_executors",
     "default_jobs",
     "plan_shards",
@@ -70,13 +73,57 @@ __all__ = [
 Worker = Callable[[Any], Any]
 #: Executor signature (see module docstring).
 Executor = Callable[..., List[Any]]
+#: Per-result hook: ``on_result(task_index, result)``, called in task
+#: order from the *calling* process as each task completes.
+OnResult = Callable[[int, Any], None]
+#: Cooperative stop probe, polled between tasks.
+ShouldStop = Callable[[], bool]
+
+
+class SweepCancelled(RuntimeError):
+    """A sharded run was stopped by ``should_stop()`` between tasks.
+
+    ``results`` holds the tasks completed before the stop, in task
+    order -- enough for a caller to report partial progress.  Raised
+    (never returned) so a cancelled sweep can't be mistaken for a
+    complete one.
+    """
+
+    def __init__(self, results: List[Any]):
+        super().__init__(f"cancelled after {len(results)} completed task(s)")
+        self.results = results
+
 
 _EXECUTORS: Dict[str, Executor] = {}
+#: Executors whose signature accepts ``on_result``/``should_stop``
+#: (detected at registration); others get the replay fallback.
+_STREAMING: Dict[str, bool] = {}
+
+
+def _supports_streaming(executor: Executor) -> bool:
+    try:
+        params = inspect.signature(executor).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return True
+    return {"on_result", "should_stop"} <= set(params)
 
 
 def register_executor(name: str, executor: Executor) -> None:
-    """Register (or replace) an execution backend under ``name``."""
+    """Register (or replace) an execution backend under ``name``.
+
+    Executors that accept ``on_result``/``should_stop`` keyword
+    arguments (detected by signature) get them forwarded natively for
+    per-task streaming and cooperative cancellation; legacy executors
+    without them still work -- :func:`run_sharded` replays their
+    completed results through ``on_result`` afterwards and only checks
+    ``should_stop`` up front.
+    """
     _EXECUTORS[name] = executor
+    _STREAMING[name] = _supports_streaming(executor)
 
 
 def available_executors() -> List[str]:
@@ -105,17 +152,44 @@ def plan_shards(total: int, shard_size: int) -> List[Tuple[int, int]]:
 # ----------------------------------------------------------------------
 # Executors
 # ----------------------------------------------------------------------
+def _pool_context():
+    """Multiprocessing context for worker pools.
+
+    From the main thread (the CLI path) the platform default is kept --
+    fork on Linux, with its cheap startup.  From any other thread the
+    caller is a multithreaded process (the service layer runs sweeps on
+    a thread pool), where forking can deadlock the child on locks held
+    by sibling threads at fork time (and is a DeprecationWarning on
+    3.12+), so ``spawn`` is used instead.  All pool initializers and
+    workers in this codebase are module-level with picklable initargs,
+    so both contexts run them identically.
+    """
+    if threading.current_thread() is threading.main_thread():
+        return multiprocessing.get_context()
+    return multiprocessing.get_context("spawn")
+
+
 def _serial_executor(
     worker: Worker,
     tasks: Sequence[Any],
     jobs: int = 1,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
+    on_result: Optional[OnResult] = None,
+    should_stop: Optional[ShouldStop] = None,
 ) -> List[Any]:
     """Run every task in this process (reference implementation)."""
     if initializer is not None:
         initializer(*initargs)
-    return [worker(task) for task in tasks]
+    out: List[Any] = []
+    for i, task in enumerate(tasks):
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(out)
+        result = worker(task)
+        out.append(result)
+        if on_result is not None:
+            on_result(i, result)
+    return out
 
 
 def _process_executor(
@@ -124,22 +198,39 @@ def _process_executor(
     jobs: int,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
+    on_result: Optional[OnResult] = None,
+    should_stop: Optional[ShouldStop] = None,
 ) -> List[Any]:
     """Fan tasks out over a ``multiprocessing`` pool, order-preserving.
 
     A pool is spawned even for ``jobs=1`` -- callers asked for process
     isolation by name, and benchmarks need the honest single-worker
-    pool overhead, not a silent serial fallback.
+    pool overhead, not a silent serial fallback.  With streaming hooks
+    the pool switches from ``map`` to ordered ``imap`` so each result
+    surfaces (and ``should_stop`` is polled) as it completes; a stop
+    terminates the pool, abandoning in-flight shards.
     """
     if not tasks:
         return []
     jobs = min(max(1, jobs), len(tasks))
-    ctx = multiprocessing.get_context()
+    ctx = _pool_context()
     with ctx.Pool(
         processes=jobs, initializer=initializer, initargs=initargs
     ) as pool:
         # chunksize=1: shards are coarse already; keep scheduling greedy.
-        return pool.map(worker, tasks, chunksize=1)
+        if on_result is None and should_stop is None:
+            return pool.map(worker, tasks, chunksize=1)
+        out: List[Any] = []
+        results = pool.imap(worker, tasks, chunksize=1)
+        for i in range(len(tasks)):
+            if should_stop is not None and should_stop():
+                pool.terminate()
+                raise SweepCancelled(out)
+            result = next(results)
+            out.append(result)
+            if on_result is not None:
+                on_result(i, result)
+        return out
 
 
 def _array_executor(
@@ -148,6 +239,8 @@ def _array_executor(
     jobs: int = 1,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
+    on_result: Optional[OnResult] = None,
+    should_stop: Optional[ShouldStop] = None,
 ) -> List[Any]:
     """In-process executor pinned to the ``array`` plane backend.
 
@@ -160,7 +253,9 @@ def _array_executor(
     name and overrides the scoped default).
     """
     with use_backend("array"):
-        return _serial_executor(worker, tasks, jobs, initializer, initargs)
+        return _serial_executor(
+            worker, tasks, jobs, initializer, initargs, on_result, should_stop
+        )
 
 
 register_executor("serial", _serial_executor)
@@ -175,6 +270,8 @@ def run_sharded(
     executor: Optional[str] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
+    on_result: Optional[OnResult] = None,
+    should_stop: Optional[ShouldStop] = None,
 ) -> List[Any]:
     """Run ``worker`` over ``tasks`` on a registered executor.
 
@@ -182,6 +279,15 @@ def run_sharded(
     ``"process"`` for more than one job and ``"serial"`` otherwise.
     Results come back in task order regardless of backend, which is
     what makes sharded sweeps deterministic.
+
+    ``on_result(i, result)`` fires in task order as task ``i``
+    completes -- the single progress seam shared by the CLI, the async
+    service layer, and tests.  ``should_stop()`` is polled between
+    tasks; returning true raises :class:`SweepCancelled` carrying the
+    results completed so far.  Executors registered without these
+    keywords still work: their whole-batch result is replayed through
+    ``on_result`` after the fact, and ``should_stop`` is only honoured
+    before dispatch.
     """
     tasks = list(tasks)
     jobs = default_jobs() if not jobs else max(1, jobs)
@@ -192,15 +298,41 @@ def run_sharded(
         raise KeyError(
             f"unknown executor {name!r}; available: {available_executors()}"
         ) from None
-    return run(worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs)
+    if on_result is None and should_stop is None:
+        return run(
+            worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs
+        )
+    if _STREAMING.get(name, False):
+        return run(
+            worker,
+            tasks,
+            jobs=jobs,
+            initializer=initializer,
+            initargs=initargs,
+            on_result=on_result,
+            should_stop=should_stop,
+        )
+    # Legacy executor: no mid-run streaming, but the contract holds.
+    if should_stop is not None and should_stop():
+        raise SweepCancelled([])
+    out = run(
+        worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs
+    )
+    if on_result is not None:
+        for i, result in enumerate(out):
+            on_result(i, result)
+    return out
 
 
 # ----------------------------------------------------------------------
 # Sharded exhaustive two-sort verification
 # ----------------------------------------------------------------------
-#: Per-process state installed by the pool initializer (the compiled
-#: program is built once per worker, not once per shard).
-_VERIFY_STATE: Dict[str, Any] = {}
+#: Per-worker state installed by the pool initializer (the compiled
+#: program is built once per worker, not once per shard).  Thread-local
+#: because the service layer runs concurrent in-process sweeps on a
+#: thread pool; multiprocessing pool workers run the initializer and
+#: their tasks on one thread, so per-process semantics are unchanged.
+_VERIFY_STATE = threading.local()
 
 
 def _init_verify_worker(
@@ -208,12 +340,12 @@ def _init_verify_worker(
 ) -> None:
     # `backend` arrives as a registry name (or None for the executor /
     # process default) so the initargs stay picklable for pool workers.
-    _VERIFY_STATE["program"] = compile_circuit(circuit, get_backend(backend))
+    _VERIFY_STATE.program = compile_circuit(circuit, get_backend(backend))
 
 
 def _verify_shard_worker(task: Tuple[int, int, int]) -> VerificationResult:
     width, g_lo, g_hi = task
-    return verify_two_sort_shard(_VERIFY_STATE["program"], width, g_lo, g_hi)
+    return verify_two_sort_shard(_VERIFY_STATE.program, width, g_lo, g_hi)
 
 
 def _default_pair_shard_size(
@@ -251,6 +383,12 @@ def _default_pair_shard_size(
     return min(_MAX_SHARD_LANES, -(-size // word) * word)
 
 
+#: Per-shard progress hook: ``on_shard(done, total, result)`` where
+#: ``done`` is the number of shards finished so far (cached hits
+#: included) and ``result`` is that shard's VerificationResult.
+OnShard = Callable[[int, int, VerificationResult], None]
+
+
 def verify_two_sort_sharded(
     circuit: Circuit,
     width: int,
@@ -258,6 +396,9 @@ def verify_two_sort_sharded(
     shard_size: Optional[int] = None,
     executor: Optional[str] = None,
     backend: BackendLike = None,
+    on_shard: Optional[OnShard] = None,
+    should_stop: Optional[ShouldStop] = None,
+    cache: Optional[Any] = None,
 ) -> VerificationResult:
     """Exhaustively verify a 2-sort circuit with sharded execution.
 
@@ -270,30 +411,106 @@ def verify_two_sort_sharded(
     ``jobs=None`` or ``0`` means one worker per core; ``backend`` names
     a plane backend (:mod:`repro.backends`) and is forwarded to every
     worker through the pool initializer (by name, so it pickles).
+
+    This is the one code path behind the CLI, the async service layer
+    (:mod:`repro.service`), and the sharded tests:
+
+    * ``on_shard(done, total, result)`` fires per finished shard, in
+      shard order, from the calling process -- the progress stream;
+    * ``should_stop()`` is polled between shards; a true return raises
+      :class:`SweepCancelled` (cooperative cancellation -- in-flight
+      shards on a process pool are abandoned);
+    * ``cache`` is an optional mapping-like object with
+      ``get(key)``/``put(key, value)`` (see
+      :class:`repro.service.cache.ShardCache`).  Shards are keyed on
+      ``(circuit.name, circuit.version, backend.name, width, g_lo,
+      g_hi)``; hits skip the worker entirely but still count toward
+      progress, and fresh results are inserted as they complete (so
+      even a cancelled run warms the cache).  The cache trusts
+      ``(name, version)`` to identify circuit contents -- callers that
+      mutate a circuit in place must rely on ``version`` bumps, which
+      every :class:`~repro.circuits.netlist.Circuit` mutator performs.
     """
     check_two_sort_shape(circuit, width)
     jobs = default_jobs() if not jobs else max(1, jobs)
     if isinstance(backend, PlaneBackend):
         backend = backend.name
-    if shard_size is None:
-        # The executor may scope a different default backend ("array"),
-        # in which case the explicit-backend resolution here still
-        # matches what workers compile: None resolves identically in
-        # both places only for in-process executors, so size by the
-        # effective backend name.
-        size_backend = backend if backend is not None else (
-            "array" if executor == "array" else None
-        )
-        shard_size = _default_pair_shard_size(width, jobs, size_backend)
-    tasks = [
-        (width, g_lo, g_hi) for g_lo, g_hi in pair_shards(width, shard_size)
-    ]
-    results = run_sharded(
-        _verify_shard_worker,
-        tasks,
-        jobs=jobs,
-        executor=executor,
-        initializer=_init_verify_worker,
-        initargs=(circuit, backend),
+    # The executor may scope a different default backend ("array"), in
+    # which case the explicit-backend resolution here still matches
+    # what workers compile: None resolves identically in both places
+    # only for in-process executors, so size (and key the cache) by
+    # the effective backend name.
+    effective_backend = backend if backend is not None else (
+        "array" if executor == "array" else None
     )
+    if shard_size is None:
+        shard_size = _default_pair_shard_size(width, jobs, effective_backend)
+    shards = pair_shards(width, shard_size)
+    total = len(shards)
+    plain = on_shard is None and should_stop is None and cache is None
+    if plain:
+        # The zero-overhead path: bit-for-bit the pre-service behaviour.
+        tasks = [(width, g_lo, g_hi) for g_lo, g_hi in shards]
+        results = run_sharded(
+            _verify_shard_worker,
+            tasks,
+            jobs=jobs,
+            executor=executor,
+            initializer=_init_verify_worker,
+            initargs=(circuit, backend),
+        )
+        return VerificationResult.merge(results)
+
+    backend_name = get_backend(effective_backend).name
+
+    def shard_key(index: int) -> Tuple:
+        g_lo, g_hi = shards[index]
+        return (
+            circuit.name, circuit.version, backend_name, width, g_lo, g_hi
+        )
+
+    results: List[Optional[VerificationResult]] = [None] * total
+    pending: List[int] = []
+    for i in range(total):
+        hit = cache.get(shard_key(i)) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    done = 0
+    # Cached shards report first (ascending shard order), then fresh
+    # ones as the executor completes them -- `done` stays strictly
+    # increasing either way.
+    for i in range(total):
+        if results[i] is None:
+            continue
+        if should_stop is not None and should_stop():
+            raise SweepCancelled([r for r in results[:i] if r is not None])
+        done += 1
+        if on_shard is not None:
+            on_shard(done, total, results[i])
+
+    def _record(k: int, result: VerificationResult) -> None:
+        nonlocal done
+        i = pending[k]
+        results[i] = result
+        if cache is not None:
+            cache.put(shard_key(i), result)
+        done += 1
+        if on_shard is not None:
+            on_shard(done, total, result)
+
+    if pending:
+        tasks = [(width,) + shards[i] for i in pending]
+        run_sharded(
+            _verify_shard_worker,
+            tasks,
+            jobs=jobs,
+            executor=executor,
+            initializer=_init_verify_worker,
+            initargs=(circuit, backend),
+            on_result=_record,
+            should_stop=should_stop,
+        )
     return VerificationResult.merge(results)

@@ -19,21 +19,28 @@ class TestCli:
     def test_verify_refuses_huge_width(self, capsys):
         assert main(["verify", "--width", "14"]) == 2
 
+    @pytest.mark.parametrize("width", ["0", "-2"])
+    def test_verify_refuses_non_positive_width(self, width, capsys):
+        """Widths below 1 exit 2 with a message, not a traceback."""
+        assert main(["verify", "--width", width]) == 2
+        assert "width must be in 1..13" in capsys.readouterr().err
+
     def test_verify_width_13_passes_the_cap(self, monkeypatch, capsys):
         """The cap moved from B<=11 to B<=13: width 13 must reach the
         verification path (stubbed -- the full 268M-pair run is far too
-        slow for a unit test)."""
-        import repro.__main__ as cli
+        slow for a unit test).  The CLI is a thin client of
+        VerifyRequest now, so the stub lives at the request's seam."""
+        import repro.service.jobs as jobs
         from repro.verify.exhaustive import VerificationResult
 
         seen = {}
 
-        def fake_verify(circuit, width, backend=None):
+        def fake_verify(circuit, width, **kwargs):
             seen["width"] = width
             return VerificationResult(checked=1)
 
-        monkeypatch.setattr(cli, "verify_two_sort_circuit", fake_verify)
-        monkeypatch.setattr(cli, "build_two_sort", lambda width: None)
+        monkeypatch.setattr(jobs, "verify_two_sort_sharded", fake_verify)
+        monkeypatch.setattr(jobs, "build_two_sort", lambda width: None)
         assert main(["verify", "--width", "13"]) == 0
         assert seen["width"] == 13
         assert "1 cases checked: OK" in capsys.readouterr().out
@@ -66,13 +73,12 @@ class TestCli:
 
     def test_verify_validation_happens_before_work(self, monkeypatch, capsys):
         """Bad arguments must not reach the verification layer at all."""
-        import repro.__main__ as cli
+        import repro.service.jobs as jobs
 
         def boom(*a, **kw):  # pragma: no cover - must not run
             raise AssertionError("verification ran despite bad args")
 
-        monkeypatch.setattr(cli, "verify_two_sort_circuit", boom)
-        monkeypatch.setattr(cli, "verify_two_sort_sharded", boom)
+        monkeypatch.setattr(jobs, "verify_two_sort_sharded", boom)
         assert main(["verify", "--width", "4", "--jobs", "-3"]) == 2
 
     def test_verify_backend_flag_bit_identical(self, capsys):
@@ -146,3 +152,56 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliJson:
+    """--json: machine-readable output so scripts stop parsing summary()."""
+
+    def test_verify_json_ok(self, capsys):
+        import json
+
+        assert main(["verify", "--width", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checked"] == 961
+        assert payload["ok"] is True
+        assert payload["failure_count"] == 0
+        assert payload["failures"] == []
+        assert payload["truncated"] is False
+        assert payload["elapsed_s"] >= 0
+
+    def test_verify_json_matches_text_counts(self, capsys):
+        import json
+
+        assert main(["verify", "--width", "5", "--json", "--jobs", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checked"] == 3969 and payload["ok"]
+
+    def test_verify_json_reports_failures_and_truncation(
+        self, monkeypatch, capsys
+    ):
+        import json
+
+        import repro.service.jobs as jobs
+        from repro.verify.exhaustive import VerificationResult
+
+        def fake_verify(circuit, width, **kwargs):
+            r = VerificationResult()
+            r.checked = 50
+            for i in range(25):
+                r.record(f"boom {i}")
+            return r
+
+        monkeypatch.setattr(jobs, "verify_two_sort_sharded", fake_verify)
+        monkeypatch.setattr(jobs, "build_two_sort", lambda width: None)
+        assert main(["verify", "--width", "4", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failure_count"] == 25
+        assert len(payload["failures"]) == 20
+        assert payload["truncated"] is True
+        assert payload["ok"] is False
+
+    def test_sort_json(self, capsys):
+        import json
+
+        assert main(["sort", "0110", "0M10", "0010", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == ["0010", "0M10", "0110"]

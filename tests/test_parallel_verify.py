@@ -1,6 +1,8 @@
 """Tests for repro.verify.parallel (sharded parallel verification)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuits.netlist import Circuit
 from repro.core.two_sort import build_two_sort
@@ -180,3 +182,134 @@ class TestShardedVerification:
             build_two_sort(width), width, jobs=1, shard_size=10**12
         )
         assert result.ok and result.checked == S * S
+
+
+class TestStreamingAndCancellation:
+    """run_sharded's on_result/should_stop hooks: the seam the async
+    service layer (repro.service) is built on."""
+
+    def test_serial_on_result_fires_in_order(self):
+        seen = []
+        out = run_sharded(
+            lambda t: t * 10, [1, 2, 3], jobs=1, executor="serial",
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [10, 20, 30]
+        assert seen == [(0, 10), (1, 20), (2, 30)]
+
+    def test_process_on_result_fires_in_order(self):
+        seen = []
+        out = run_sharded(
+            _double, list(range(6)), jobs=2, executor="process",
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [2 * t for t in range(6)]
+        assert seen == [(i, 2 * i) for i in range(6)]
+
+    def test_serial_should_stop_raises_with_partial(self):
+        from repro.verify.parallel import SweepCancelled
+
+        stop_after = 3
+        done = []
+
+        def worker(t):
+            done.append(t)
+            return t
+
+        with pytest.raises(SweepCancelled) as info:
+            run_sharded(
+                worker, list(range(10)), jobs=1, executor="serial",
+                should_stop=lambda: len(done) >= stop_after,
+            )
+        assert info.value.results == [0, 1, 2]
+        assert done == [0, 1, 2]  # tasks 3..9 never ran
+
+    def test_process_should_stop_raises_with_partial(self):
+        from repro.verify.parallel import SweepCancelled
+
+        seen = []
+
+        with pytest.raises(SweepCancelled) as info:
+            run_sharded(
+                _double, list(range(8)), jobs=2, executor="process",
+                on_result=lambda i, r: seen.append(r),
+                should_stop=lambda: len(seen) >= 2,
+            )
+        assert info.value.results == seen == [0, 2]
+
+    def test_legacy_executor_replays_on_result(self):
+        """Executors registered without the streaming keywords still
+        satisfy the on_result contract (after the fact)."""
+
+        def legacy(worker, tasks, jobs, initializer=None, initargs=()):
+            if initializer is not None:
+                initializer(*initargs)
+            return [worker(t) for t in tasks]
+
+        register_executor("legacy", legacy)
+        seen = []
+        try:
+            out = run_sharded(
+                lambda t: -t, [1, 2], jobs=1, executor="legacy",
+                on_result=lambda i, r: seen.append((i, r)),
+            )
+        finally:
+            from repro.verify.parallel import _EXECUTORS
+
+            del _EXECUTORS["legacy"]
+        assert out == [-1, -2]
+        assert seen == [(0, -1), (1, -2)]
+
+    def test_verify_on_shard_progress_complete(self):
+        snapshots = []
+        result = verify_two_sort_sharded(
+            build_two_sort(4), 4, jobs=1, shard_size=100,
+            on_shard=lambda done, total, res: snapshots.append(
+                (done, total, res.checked)
+            ),
+        )
+        assert result.ok and result.checked == 961
+        dones = [d for d, _, _ in snapshots]
+        totals = {t for _, t, _ in snapshots}
+        assert dones == list(range(1, len(snapshots) + 1))
+        assert totals == {len(snapshots)}
+        assert sum(c for _, _, c in snapshots) == result.checked
+
+    def test_verify_should_stop_cancels_between_shards(self):
+        from repro.verify.parallel import SweepCancelled
+
+        snapshots = []
+        with pytest.raises(SweepCancelled):
+            verify_two_sort_sharded(
+                build_two_sort(4), 4, jobs=1, shard_size=100,
+                on_shard=lambda done, total, res: snapshots.append(done),
+                should_stop=lambda: len(snapshots) >= 2,
+            )
+        assert snapshots == [1, 2]
+
+
+def _double(t):
+    return 2 * t
+
+
+class TestProgressMonotonicity:
+    """Hypothesis: for any width/shard size, on_shard reports strictly
+    increasing done counts, a constant total, and exact coverage."""
+
+    @given(
+        width=st.integers(min_value=2, max_value=4),
+        shard_size=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_progress_is_monotone_and_exact(self, width, shard_size):
+        snapshots = []
+        result = verify_two_sort_sharded(
+            build_two_sort(width), width, jobs=1, shard_size=shard_size,
+            on_shard=lambda done, total, res: snapshots.append((done, total)),
+        )
+        S = (1 << (width + 1)) - 1
+        assert result.ok and result.checked == S * S
+        dones = [d for d, _ in snapshots]
+        assert dones == list(range(1, len(snapshots) + 1))  # strict +1 steps
+        assert {t for _, t in snapshots} == {len(snapshots)}
+        assert dones[-1] == len(snapshots)

@@ -34,6 +34,63 @@ class TestVerificationResult:
         r = VerificationResult(checked=10)
         assert "OK" in r.summary()
 
+    def test_truncation_is_flagged(self):
+        """The hard-coded failure cap used to drop counterexamples
+        silently; now every consumer can see that it happened."""
+        r = VerificationResult()
+        for i in range(25):
+            r.record(f"failure {i}")
+        assert r.truncated is True
+        assert len(r.failures) == 20
+        assert "first 20 shown" in r.summary()
+
+    def test_no_truncation_within_limit(self):
+        r = VerificationResult()
+        for i in range(5):
+            r.record(f"failure {i}")
+        assert r.truncated is False
+        assert "first" not in r.summary()
+
+    def test_merge_propagates_truncation(self):
+        capped = VerificationResult()
+        for i in range(30):
+            capped.record(f"x{i}")
+        clean = VerificationResult(checked=5)
+        merged = VerificationResult.merge([clean, capped])
+        assert merged.truncated is True
+
+    def test_merge_sets_truncation_when_cap_drops_messages(self):
+        parts = []
+        for k in range(3):
+            r = VerificationResult()
+            for i in range(10):  # each under the cap on its own
+                r.record(f"shard{k}-{i}")
+            assert not r.truncated
+            parts.append(r)
+        merged = VerificationResult.merge(parts)
+        assert merged.failure_count == 30
+        assert len(merged.failures) == 20
+        assert merged.truncated is True
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        r = VerificationResult(checked=7)
+        r.record("bad")
+        r.elapsed = 0.25
+        payload = json.loads(r.to_json())
+        assert payload == {
+            "checked": 7,
+            "ok": False,
+            "failure_count": 1,
+            "failures": ["bad"],
+            "truncated": False,
+            "elapsed_s": 0.25,
+        }
+
+    def test_to_dict_omits_unset_timing(self):
+        assert "elapsed_s" not in VerificationResult().to_dict()
+
 
 class TestExhaustive:
     def test_valid_pairs_count(self):
