@@ -291,6 +291,88 @@ def bench_parallel_verification(width: int, jobs_list) -> dict:
     }
 
 
+def bench_distributed_verification(width: int, workers_list) -> dict:
+    """Throughput of the socket work-queue executor on localhost.
+
+    Runs the exhaustive sweep through a real :class:`ShardCoordinator`
+    (ephemeral port) with N in-process worker agents attached -- the
+    full wire protocol (lease, heartbeat, pickle transport, in-order
+    merge), minus actual network distance.  Counts are asserted
+    bit-identical to the serial baseline for every worker count; on a
+    single-core host the numbers show protocol overhead, not speedup,
+    which the recorded ``cpu_count`` explains (the execution itself is
+    the same engine the ``parallel_verification`` section measures).
+    """
+    import os
+    import threading
+
+    from repro.distributed import ShardCoordinator, ShardWorker, use_coordinator
+    from repro.verify.parallel import _default_pair_shard_size
+
+    circuit = build_two_sort(width)
+    compile_circuit(circuit)
+    total_pairs = len(all_valid_strings(width)) ** 2
+    shard_size = _default_pair_shard_size(width, max(workers_list))
+
+    t0 = time.perf_counter()
+    baseline = verify_two_sort_sharded(
+        circuit, width, jobs=1, shard_size=shard_size, executor="serial"
+    )
+    serial_time = time.perf_counter() - t0
+    assert baseline.ok and baseline.checked == total_pairs
+
+    rows = []
+    for workers in workers_list:
+        coordinator = ShardCoordinator(host="127.0.0.1", port=0).start()
+        stop = threading.Event()
+        agents = [
+            ShardWorker("127.0.0.1", coordinator.port, name=f"bench{i}")
+            for i in range(workers)
+        ]
+        threads = [
+            threading.Thread(target=a.run, args=(stop,), daemon=True)
+            for a in agents
+        ]
+        for t in threads:
+            t.start()
+        try:
+            with use_coordinator(coordinator):
+                t0 = time.perf_counter()
+                result = verify_two_sort_sharded(
+                    circuit, width, shard_size=shard_size,
+                    executor="distributed",
+                )
+                elapsed = time.perf_counter() - t0
+        finally:
+            stop.set()
+            stats = coordinator.stats()
+            coordinator.close()
+            for t in threads:
+                t.join(timeout=10)
+        assert result.ok and result.checked == baseline.checked
+        shards = stats["batches"][-1]["tasks"] if stats["batches"] else 0
+        rows.append(
+            {
+                "workers": workers,
+                "checked": result.checked,
+                "shards": shards,
+                "time_s": round(elapsed, 4),
+                "shards_per_s": round(shards / elapsed, 1) if elapsed else None,
+                "speedup_vs_serial": round(serial_time / elapsed, 2),
+            }
+        )
+
+    return {
+        "width": width,
+        "pairs": total_pairs,
+        "cpu_count": os.cpu_count(),
+        "shard_size": shard_size,
+        "serial_time_s": round(serial_time, 4),
+        "transport": "json-lines TCP work queue (localhost)",
+        "workers": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -311,11 +393,13 @@ def main(argv=None) -> int:
         net_width, net_vectors = 5, 32
         parallel_width, parallel_jobs = 6, [1, 2]
         backend_width = 5
+        distributed_width, distributed_workers = 6, [1, 2]
     else:
         verify_width, scalar_sample = 8, 4000
         net_width, net_vectors = 8, 1024
         parallel_width, parallel_jobs = 9, [1, 2, 4]
         backend_width = 8
+        distributed_width, distributed_workers = 8, [1, 2, 4]
 
     print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
     exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
@@ -355,6 +439,21 @@ def main(argv=None) -> int:
             f"({entry['speedup_vs_serial']:,.2f}x vs serial)"
         )
 
+    print(f"== distributed work-queue verification (B={distributed_width}) ==")
+    distributed = bench_distributed_verification(
+        distributed_width, distributed_workers
+    )
+    print(
+        f"  serial:      {distributed['serial_time_s']:>8.4f}s "
+        f"({distributed['pairs']:,} pairs, {distributed['cpu_count']} cores)"
+    )
+    for entry in distributed["workers"]:
+        print(
+            f"  workers={entry['workers']}: {entry['time_s']:>8.4f}s "
+            f"({entry['shards']} shards, "
+            f"{entry['speedup_vs_serial']:,.2f}x vs serial)"
+        )
+
     payload = {
         "benchmark": "scalar interpreter vs compiled two-plane engine",
         "quick": args.quick,
@@ -364,6 +463,7 @@ def main(argv=None) -> int:
         "network_simulation": network,
         "plane_backends": plane_backends,
         "parallel_verification": parallel,
+        "distributed_verification": distributed,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -7,17 +7,26 @@ table8              regenerate Table 8 (sorting-network costs)
 verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --jobs N     shard the sweep across N worker processes (0 = cores)
        --shard-size approximate pair-lanes per shard
+       --executor   execution strategy: serial/process/array/distributed
+       --listen A   (with --executor distributed) coordinator address,
+                    PORT or HOST:PORT (bare port binds all interfaces)
        --backend    plane backend: bigint (default) or array (numpy/words)
        --json       machine-readable result (counts, failures, timing)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
 sort g h [...]      sort valid strings with the paper's circuit
      --engine       2-sort engine (fsm default; compiled = batch path)
+     --executor     execution strategy for the sharded batch path
      --backend      plane backend for --engine compiled
      --json         machine-readable sorted output
 serve               run the async job service (JSON lines over TCP)
      --port/--host  bind address (default 127.0.0.1:7421)
      --jobs         max concurrently *running* jobs
      --backend      default plane backend for requests that omit one
+     --listen A     also run a shard coordinator ([HOST:]PORT), so
+                    submitted jobs may use executor "distributed"
+worker              attach a shard worker to a running coordinator
+     --connect H:P  coordinator address
+     --jobs N       local process fan-out under this one connection
 submit verify|sort  submit a job to a running service, stream progress
                     (stderr) and print the result exactly like the
                     direct command would
@@ -55,6 +64,7 @@ from .service import (
 )
 from .service.jobs import MAX_VERIFY_WIDTH
 from .verify.exhaustive import VerificationResult
+from .verify.parallel import available_executors
 
 
 def _cmd_table7(_args) -> int:
@@ -95,11 +105,91 @@ def _check_positive_args(args) -> int:
     return 0
 
 
+def _check_executor_args(args) -> int:
+    """Validate --executor/--listen up front (exit code 2 on misuse).
+
+    The executor registry was CLI-unreachable before this flag existed
+    (``--jobs`` hard-implied ``process``); validating against
+    :func:`available_executors` here keeps the error a one-line usage
+    message instead of a traceback from deep inside ``run_sharded``.
+    """
+    executor = getattr(args, "executor", None)
+    if executor is not None and executor not in available_executors():
+        print(
+            f"error: unknown executor {executor!r}; "
+            f"available: {', '.join(available_executors())}",
+            file=sys.stderr,
+        )
+        return 2
+    listen = getattr(args, "listen", None)
+    if listen is not None and executor != "distributed":
+        print(
+            "error: --listen starts a shard coordinator, which only "
+            "--executor distributed uses",
+            file=sys.stderr,
+        )
+        return 2
+    if executor == "distributed" and hasattr(args, "listen") and listen is None:
+        print(
+            "error: --executor distributed needs --listen PORT (the "
+            "coordinator address workers connect to; 0 = ephemeral)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _parse_listen(value):
+    """``--listen`` accepts ``PORT`` or ``HOST:PORT``.
+
+    The bare form binds all interfaces (cross-host is the point); the
+    ``HOST:`` prefix is how a user restricts the coordinator -- which
+    moves pickles, so exposure matters -- to e.g. ``127.0.0.1`` or an
+    internal interface.  Returns ``(host, port)`` or raises
+    ``ValueError`` with a usage message.
+    """
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = "0.0.0.0", value
+    if not port_text.isdigit() or not 0 <= int(port_text) <= 65535 or not host:
+        raise ValueError(
+            f"--listen expects PORT or HOST:PORT (port 0-65535, "
+            f"0 = ephemeral), got {value!r}"
+        )
+    return host, int(port_text)
+
+
+def _start_coordinator(args) -> int:
+    """Run the shard coordinator for a distributed CLI sweep.
+
+    Returns 0, or 2 on a usage-level failure (unparseable address,
+    unbindable port) -- matching the bind-errors-exit-2 convention of
+    ``serve``.
+    """
+    from .distributed import ensure_coordinator
+
+    try:
+        host, port = _parse_listen(args.listen)
+        coordinator = ensure_coordinator(host=host, port=port)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot start coordinator -- {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"shard coordinator listening on {coordinator.host}:"
+        f"{coordinator.port} -- attach workers with `python -m repro "
+        f"worker --connect HOST:{coordinator.port}`",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
 def _verify_request(args) -> VerifyRequest:
     return VerifyRequest(
         width=args.width,
         jobs=args.jobs,
         shard_size=args.shard_size,
+        executor=args.executor,
         backend=args.backend,
     )
 
@@ -117,7 +207,7 @@ def _print_verify_result(
 
 
 def _cmd_verify(args) -> int:
-    bad = _check_positive_args(args)
+    bad = _check_positive_args(args) or _check_executor_args(args)
     if bad:
         return bad
     width = args.width
@@ -138,6 +228,10 @@ def _cmd_verify(args) -> int:
         # e.g. width < 1: a usage error, same exit code as the checks above.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.executor == "distributed":
+        bad = _start_coordinator(args)
+        if bad:
+            return bad
     start = time.perf_counter()
     result = request.run()
     result.elapsed = time.perf_counter() - start
@@ -153,11 +247,25 @@ def _sort_request(args) -> SortRequest:
     return SortRequest.single(
         list(args.values),
         engine=args.engine,
+        executor=args.executor,
         backend=args.backend,
     )
 
 
 def _cmd_sort(args) -> int:
+    bad = _check_executor_args(args)
+    if bad:
+        return bad
+    if args.executor == "distributed":
+        # sort has no --listen to host a coordinator; keep this a
+        # one-line usage error, not a RuntimeError from run_sharded.
+        print(
+            "error: sort cannot host a shard coordinator; run one with "
+            "`serve --listen PORT` and use "
+            "`submit sort --executor distributed` instead",
+            file=sys.stderr,
+        )
+        return 2
     if args.backend is not None and args.engine != "compiled":
         print(
             f"error: --backend selects a plane representation, which only "
@@ -192,6 +300,23 @@ def _cmd_serve(args) -> int:
     bad = _check_positive_args(args)
     if bad:
         return bad
+    if args.listen is not None:
+        from .distributed import ensure_coordinator
+
+        try:
+            listen_host, listen_port = _parse_listen(args.listen)
+            coordinator = ensure_coordinator(host=listen_host, port=listen_port)
+        except (ValueError, OSError) as exc:
+            print(
+                f"error: cannot start coordinator -- {exc}", file=sys.stderr
+            )
+            return 2
+        print(
+            f"shard coordinator listening on {coordinator.host}:"
+            f"{coordinator.port} -- jobs submitted with executor "
+            f"\"distributed\" run on attached workers",
+            flush=True,
+        )
 
     async def _serve() -> None:
         import os
@@ -250,6 +375,9 @@ def _progress_line(kind: str, event) -> str:
 
 
 def _cmd_submit(args) -> int:
+    bad = _check_executor_args(args)
+    if bad:
+        return bad
     if args.request_kind == "verify":
         request = _verify_request(args)
     else:
@@ -308,6 +436,49 @@ def _cmd_submit(args) -> int:
         for row in rows:
             for word in row:
                 print(word)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .distributed import ShardWorker
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        print(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 0:
+        print(
+            f"error: --jobs must be >= 0 (0 = one worker per core), "
+            f"got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    import os
+
+    jobs = args.jobs or os.cpu_count() or 1
+    worker = ShardWorker(
+        host,
+        int(port_text),
+        jobs=jobs,
+        backend=args.backend,
+        name=args.name,
+        throttle=args.throttle,
+    )
+    try:
+        completed = worker.run()
+    except KeyboardInterrupt:
+        print("worker stopped", file=sys.stderr)
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: coordinator at {args.connect} -- {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"worker done: {completed} shard(s) completed", file=sys.stderr)
     return 0
 
 
@@ -370,6 +541,12 @@ def _add_verify_args(parser) -> None:
         help="approximate pair-lanes per shard (default: auto)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        help="execution strategy (serial, process, array, distributed; "
+        "default: process when --jobs > 1, else serial)",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=available_backends(),
@@ -389,6 +566,12 @@ def _add_sort_args(parser) -> None:
         default="fsm",
         choices=sorted(ENGINES),
         help="2-sort engine (default: fsm; 'compiled' is the batch path)",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        help="execution strategy for the sharded batch path "
+        "(serial, process, array, distributed)",
     )
     parser.add_argument(
         "--backend",
@@ -414,6 +597,14 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("verify", help="exhaustively verify 2-sort(B)")
     _add_verify_args(p)
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="with --executor distributed: run the shard coordinator "
+        "here (bare PORT binds all interfaces; 0 = ephemeral) and wait "
+        "for workers to connect",
+    )
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("export", help="emit structural Verilog for 2-sort(B)")
@@ -448,7 +639,47 @@ def main(argv=None) -> int:
         default=8192,
         help="shard-cache entries (0 disables; default %(default)s)",
     )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="also run a shard coordinator here (bare PORT binds all "
+        "interfaces), so submitted jobs may use executor \"distributed\"",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker", help="attach a shard worker to a running coordinator"
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator (verify --listen / serve --listen)",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="local worker processes under this connection "
+        "(default %(default)s; 0 = one per core)",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="plane backend for sweeps that do not pin one",
+    )
+    p.add_argument("--name", default=None, help="worker name in coordinator stats")
+    p.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep after each completed shard (load shaping / testing)",
+    )
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
         "submit", help="submit a job to a running service and wait for it"

@@ -11,6 +11,7 @@ design before hand-mapping (paper Section 6).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -60,6 +61,7 @@ class Circuit:
         self._topo_cache: Optional[List[Gate]] = None
         self._input_frozen: Optional[frozenset] = None
         self._version = 0
+        self._hash_cache: Optional[Tuple[int, str]] = None
 
     def __getstate__(self):
         # Compiled programs (repro.circuits.compiled attaches them as
@@ -159,6 +161,48 @@ class Circuit:
         this value so a mutated netlist is never served stale results.
         """
         return self._version
+
+    def content_hash(self) -> str:
+        """Stable digest of the netlist *structure* (hex, 16 chars).
+
+        Covers exactly what determines behaviour: input order, output
+        order, constant ties, and every gate as ``kind(inputs)->output``
+        in insertion order.  Unlike :attr:`version` -- an in-process
+        mutation counter that two different circuits can coincidentally
+        share -- the content hash identifies the circuit itself, so it
+        is safe as a cache key across processes and hosts: a rebuilt
+        identical netlist hashes the same, any structural edit hashes
+        differently, and a distributed worker can check that the
+        circuit it unpickled is the one the coordinator is sweeping.
+        Cached per :attr:`version`, so repeated calls on an unmutated
+        circuit are O(1).
+        """
+        cached = getattr(self, "_hash_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        h = hashlib.sha256()
+
+        def feed(tag: bytes, *parts: str) -> None:
+            # Length-prefixed fields: no delimiter a net name could
+            # contain can make two different structures hash the same.
+            h.update(tag)
+            for part in parts:
+                data = part.encode()
+                h.update(len(data).to_bytes(4, "little"))
+                h.update(data)
+
+        for net in self._inputs:
+            feed(b"i", net)
+        for net, value in sorted(self._const_nets.items()):
+            feed(b"c", net, value.to_char())
+        for gate in self._gates:
+            feed(b"g", gate.kind.name, str(len(gate.inputs)), *gate.inputs)
+            feed(b">", gate.output)
+        for net in self._outputs:
+            feed(b"o", net)
+        digest = h.hexdigest()[:16]
+        self._hash_cache = (self._version, digest)
+        return digest
 
     @property
     def outputs(self) -> Tuple[NetId, ...]:

@@ -1,0 +1,602 @@
+"""Work-queue coordinator: lease shards to workers, merge in order.
+
+The cross-host half of the ROADMAP's scaling story.  A
+:class:`ShardCoordinator` owns a queue of shard tasks (the same
+picklable units :func:`repro.verify.parallel.run_sharded` dispatches to
+local pools), listens on a TCP port, and *leases* tasks to whatever
+:mod:`repro.distributed.worker` agents connect -- so one sweep spans as
+many hosts as care to attach, with no configuration beyond the
+coordinator's address.
+
+Failure model
+-------------
+Work is never lost and never double-merged:
+
+* every leased task carries a deadline; a worker refreshes its leases
+  with heartbeats (and implicitly with any message it sends).  A lease
+  that expires -- worker wedged, network gone -- is re-queued at the
+  front of the pending queue;
+* a dropped connection (crash, ``kill -9``) re-queues that worker's
+  leases immediately;
+* results are recorded first-write-wins per task index, so a slow
+  worker completing an already re-run shard is counted as ``late`` (or
+  ``duplicate``) and ignored rather than merged twice.
+
+Determinism
+-----------
+Results arrive in whatever order workers finish, but
+:meth:`BatchHandle.collect` releases them strictly in task order --
+the contract every local executor already obeys -- so the merged
+:class:`~repro.verify.exhaustive.VerificationResult` is byte-identical
+to a serial run no matter how many workers, how they race, or how
+often shards were re-leased.
+
+Threading: the coordinator is plain threads + one lock (no asyncio),
+so it can be driven from synchronous callers -- the CLI, the service
+layer's job threads -- without loop plumbing.  Connection handlers,
+the lease reaper, and submitting threads all synchronize on
+``self._lock``; per-batch completion is signalled through a condition
+on that same lock.
+
+Security: like ``multiprocessing``, the protocol moves pickles between
+machines that trust each other.  Bind to an interface reachable only
+by your own cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..verify.parallel import SweepCancelled
+from .wire import DEFAULT_WORK_PORT, LineChannel, pack, unpack
+
+__all__ = ["BatchHandle", "ShardCoordinator"]
+
+#: Terminal batches retained (as summary dicts) for stats after their
+#: submitter collected them; the batches themselves -- task pickles and
+#: results -- are freed at retirement so a long-lived coordinator
+#: (``serve --listen``) does not accumulate every sweep it ever ran.
+HISTORY_KEEP = 64
+
+
+class _Worker:
+    """Connection-scoped record of one attached worker agent."""
+
+    __slots__ = ("id", "name", "slots", "last_seen", "results", "channel")
+
+    def __init__(self, worker_id: str, name: str, slots: int, channel):
+        self.id = worker_id
+        self.name = name
+        self.slots = slots
+        self.last_seen = time.monotonic()
+        self.results = 0
+        self.channel = channel
+
+
+class _Batch:
+    """One submitted task list and its progress."""
+
+    __slots__ = (
+        "id", "worker_fn", "init", "epoch", "tasks", "pending", "leases",
+        "results", "error", "cancelled", "requeued", "late", "duplicates",
+        "payload_sent",
+    )
+
+    def __init__(self, batch_id, worker_fn, init, epoch, tasks):
+        self.id = batch_id
+        self.worker_fn = worker_fn  # packed
+        self.init = init  # packed (initializer, initargs)
+        self.epoch: Dict[str, Any] = epoch
+        self.tasks: List[str] = tasks  # packed, one per index
+        self.pending: deque = deque(range(len(tasks)))
+        #: index -> (worker_id, monotonic deadline)
+        self.leases: Dict[int, Tuple[str, float]] = {}
+        self.results: Dict[int, Any] = {}
+        self.error: Optional[str] = None
+        self.cancelled = False
+        self.requeued = 0
+        self.late = 0
+        self.duplicates = 0
+        #: workers that already received the worker_fn/init payload
+        self.payload_sent: set = set()
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) == len(self.tasks)
+
+    def requeue_lease(self, index: int) -> None:
+        del self.leases[index]
+        if index not in self.results and not self.cancelled:
+            self.pending.appendleft(index)
+            self.requeued += 1
+
+
+class BatchHandle:
+    """The submitting side's view of one batch (returned by ``submit``)."""
+
+    def __init__(self, coordinator: "ShardCoordinator", batch: _Batch):
+        self._coordinator = coordinator
+        self._batch = batch
+
+    @property
+    def id(self) -> str:
+        return self._batch.id
+
+    def cancel(self) -> None:
+        self._coordinator._cancel_batch(self._batch)
+
+    def collect(
+        self,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        poll: float = 0.2,
+    ) -> List[Any]:
+        """Block until every task has a result; stream them in order.
+
+        ``on_result(i, result)`` fires in strict task order as soon as
+        result ``i`` *and all before it* exist -- out-of-order arrivals
+        are buffered, which is what keeps distributed merges
+        deterministic.  ``should_stop()`` is polled at least every
+        ``poll`` seconds; a true return cancels the batch (pending
+        tasks dropped, in-flight results ignored) and raises
+        :class:`~repro.verify.parallel.SweepCancelled` with the ordered
+        prefix completed so far.  A worker-side failure or coordinator
+        shutdown raises ``RuntimeError``.
+
+        However collect ends, the batch is *retired*: its task and
+        result storage is freed and only a summary dict survives in
+        :meth:`ShardCoordinator.stats`.
+        """
+        batch = self._batch
+        cond = self._coordinator._cond
+        out: List[Any] = []
+        total = len(batch.tasks)
+        try:
+            while True:
+                fresh: List[Any] = []
+                with cond:
+                    if batch.error is not None:
+                        raise RuntimeError(
+                            f"distributed batch {batch.id} failed: "
+                            f"{batch.error}"
+                        )
+                    while len(out) + len(fresh) < total:
+                        i = len(out) + len(fresh)
+                        if i not in batch.results:
+                            break
+                        fresh.append(batch.results[i])
+                    complete = len(out) + len(fresh) == total
+                    if not complete and not fresh:
+                        cond.wait(timeout=poll)
+                # Hooks run outside the lock: on_result may call back
+                # into arbitrary code (the service layer schedules loop
+                # work).
+                for result in fresh:
+                    out.append(result)
+                    if on_result is not None:
+                        on_result(len(out) - 1, result)
+                if should_stop is not None and should_stop():
+                    self.cancel()
+                    raise SweepCancelled(out)
+                if len(out) == total:
+                    return out
+        finally:
+            self._coordinator._retire_batch(batch)
+
+
+class ShardCoordinator:
+    """Serve a shard work queue to remote workers over TCP.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  ``lease_timeout`` is how long a worker may sit on
+    a leased shard without any message before it is re-queued; workers
+    are told to heartbeat at a third of that.
+
+    Usage::
+
+        coord = ShardCoordinator(port=7422).start()
+        handle = coord.submit(worker_fn, tasks, initializer=..., initargs=...)
+        results = handle.collect()          # blocks; ordered
+        coord.close()
+
+    Callers normally never touch this directly: the ``"distributed"``
+    executor (:mod:`repro.distributed.executor`) wraps ``submit`` +
+    ``collect`` behind the ordinary
+    :func:`~repro.verify.parallel.run_sharded` interface.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_WORK_PORT,
+        lease_timeout: float = 30.0,
+        wait_delay: float = 0.25,
+    ):
+        self.host = host
+        self.port = port
+        self.lease_timeout = lease_timeout
+        self.wait_delay = wait_delay
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._batches: "Dict[str, _Batch]" = {}
+        #: Summaries of retired batches, bounded (stats continuity).
+        self._history: deque = deque(maxlen=HISTORY_KEEP)
+        self._workers: Dict[str, _Worker] = {}
+        self._batch_seq = itertools.count(1)
+        self._worker_seq = itertools.count(1)
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._closing = False
+        self.requeued_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardCoordinator":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        for target, name in (
+            (self._accept_loop, "repro-coord-accept"),
+            (self._reaper_loop, "repro-coord-reaper"),
+        ):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def close(self) -> None:
+        """Stop serving: fail unfinished batches, say bye to workers."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            for batch in self._batches.values():
+                if not batch.done and batch.error is None:
+                    batch.error = "coordinator closed"
+            workers = list(self._workers.values())
+            self._cond.notify_all()
+        for worker in workers:
+            try:
+                worker.channel.send({"ok": True, "kind": "bye"})
+            except OSError:
+                pass
+            worker.channel.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: List[Any],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+        epoch: Optional[Dict[str, Any]] = None,
+    ) -> BatchHandle:
+        """Queue ``tasks`` for remote execution; returns a handle.
+
+        ``worker``/``initializer`` must be picklable by reference
+        (module-level functions -- the same constraint local process
+        pools impose).  ``epoch`` is the
+        :class:`~repro.verify.exhaustive.SweepEpoch` dict describing
+        the shared setup; workers use it to reuse compiled circuits
+        across batches and to validate circuit identity.
+        """
+        init_packed = pack((initializer, initargs))
+        if epoch is None:
+            # Opaque fallback: batches with identical setup payloads
+            # still share a worker-side epoch (keyed on the pickle).
+            epoch = {"kind": "opaque", "setup_id": _short_hash(init_packed)}
+        batch = _Batch(
+            batch_id=f"b{next(self._batch_seq):04d}",
+            worker_fn=pack(worker),
+            init=init_packed,
+            epoch=epoch,
+            tasks=[pack(t) for t in tasks],
+        )
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("coordinator is closed")
+            self._batches[batch.id] = batch
+            if not tasks:
+                self._cond.notify_all()
+        return BatchHandle(self, batch)
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue/lease/worker counters (also served as a wire op)."""
+        with self._lock:
+            return {
+                "host": self.host,
+                "port": self.port,
+                "lease_timeout": self.lease_timeout,
+                "requeued_total": self.requeued_total,
+                "workers": [
+                    {
+                        "id": w.id,
+                        "name": w.name,
+                        "slots": w.slots,
+                        "results": w.results,
+                        "leases": sum(
+                            1
+                            for b in self._batches.values()
+                            for (wid, _) in b.leases.values()
+                            if wid == w.id
+                        ),
+                    }
+                    for w in self._workers.values()
+                ],
+                "batches": list(self._history)
+                + [self._batch_summary(b) for b in self._batches.values()],
+            }
+
+    @staticmethod
+    def _batch_summary(b: _Batch) -> Dict[str, Any]:
+        return {
+            "id": b.id,
+            "epoch": b.epoch,
+            "tasks": len(b.tasks),
+            "pending": len(b.pending),
+            "leased": len(b.leases),
+            "done": len(b.results),
+            "requeued": b.requeued,
+            "late": b.late,
+            "duplicates": b.duplicates,
+            "cancelled": b.cancelled,
+            "error": b.error,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cancel_batch(self, batch: _Batch) -> None:
+        with self._cond:
+            batch.cancelled = True
+            batch.pending.clear()
+            batch.leases.clear()
+            self._cond.notify_all()
+
+    def _retire_batch(self, batch: _Batch) -> None:
+        """Forget a collected batch, keeping only its stats summary.
+
+        Late results for a retired batch are ignored (the submitter is
+        gone), so the coordinator's live state is bounded by in-flight
+        work, not by every sweep it ever served."""
+        with self._cond:
+            if self._batches.pop(batch.id, None) is not None:
+                self._history.append(self._batch_summary(batch))
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-coord-conn",
+                daemon=True,
+            )
+            t.start()
+
+    def _reaper_loop(self) -> None:
+        """Re-queue leases whose deadline passed (wedged/silent worker)."""
+        while True:
+            time.sleep(max(0.05, self.lease_timeout / 4))
+            with self._cond:
+                if self._closing:
+                    return
+                now = time.monotonic()
+                expired = 0
+                for batch in self._batches.values():
+                    for index, (_wid, deadline) in list(batch.leases.items()):
+                        if deadline < now:
+                            batch.requeue_lease(index)
+                            expired += 1
+                if expired:
+                    self.requeued_total += expired
+                    self._cond.notify_all()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        channel = LineChannel(conn)
+        worker: Optional[_Worker] = None
+        try:
+            while True:
+                msg = channel.recv()
+                if msg is None:
+                    return
+                op = msg.get("op")
+                if op == "hello":
+                    worker = self._register_worker(msg, channel)
+                    channel.send(
+                        {
+                            "ok": True,
+                            "worker_id": worker.id,
+                            "lease_timeout": self.lease_timeout,
+                            "heartbeat": self.lease_timeout / 3,
+                            "wait_delay": self.wait_delay,
+                        }
+                    )
+                elif op == "stats":
+                    channel.send({"ok": True, "stats": self.stats()})
+                elif op == "batch_info":
+                    channel.send(self._batch_info(msg))
+                elif worker is None:
+                    channel.send(
+                        {"ok": False, "error": f"op {op!r} before hello"}
+                    )
+                elif op == "next":
+                    channel.send(self._lease_next(worker))
+                elif op == "result":
+                    self._record_result(worker, msg)
+                elif op == "error":
+                    self._record_error(worker, msg)
+                elif op == "heartbeat":
+                    self._touch(worker)
+                elif op == "goodbye":
+                    return
+                else:
+                    channel.send({"ok": False, "error": f"unknown op {op!r}"})
+        except (ValueError, KeyError, TypeError, ConnectionError, OSError):
+            # Malformed line/fields or dropped transport: the finally
+            # clause re-queues this worker's leases either way.
+            return
+        finally:
+            channel.close()
+            if worker is not None:
+                self._drop_worker(worker)
+
+    def _register_worker(self, msg: Dict[str, Any], channel) -> _Worker:
+        with self._lock:
+            worker = _Worker(
+                worker_id=f"w{next(self._worker_seq):03d}",
+                name=str(msg.get("name") or "worker"),
+                slots=max(1, int(msg.get("slots") or 1)),
+                channel=channel,
+            )
+            self._workers[worker.id] = worker
+            return worker
+
+    def _drop_worker(self, worker: _Worker) -> None:
+        """Forget a worker and re-queue everything it still leased."""
+        with self._cond:
+            self._workers.pop(worker.id, None)
+            requeued = 0
+            for batch in self._batches.values():
+                for index, (wid, _deadline) in list(batch.leases.items()):
+                    if wid == worker.id:
+                        batch.requeue_lease(index)
+                        requeued += 1
+            if requeued:
+                self.requeued_total += requeued
+                self._cond.notify_all()
+
+    def _touch(self, worker: _Worker) -> None:
+        """Any sign of life refreshes every lease the worker holds."""
+        with self._lock:
+            worker.last_seen = time.monotonic()
+            deadline = worker.last_seen + self.lease_timeout
+            for batch in self._batches.values():
+                for index, (wid, _old) in list(batch.leases.items()):
+                    if wid == worker.id:
+                        batch.leases[index] = (wid, deadline)
+
+    def _lease_next(self, worker: _Worker) -> Dict[str, Any]:
+        with self._lock:
+            worker.last_seen = time.monotonic()
+            if self._closing:
+                return {"ok": True, "kind": "bye"}
+            for batch in self._batches.values():
+                if batch.error is not None or batch.cancelled or not batch.pending:
+                    continue
+                index = batch.pending.popleft()
+                batch.leases[index] = (
+                    worker.id,
+                    time.monotonic() + self.lease_timeout,
+                )
+                reply: Dict[str, Any] = {
+                    "ok": True,
+                    "kind": "task",
+                    "batch": batch.id,
+                    "index": index,
+                    "task": batch.tasks[index],
+                    "epoch": batch.epoch,
+                }
+                if worker.id not in batch.payload_sent:
+                    batch.payload_sent.add(worker.id)
+                    reply["payload"] = {
+                        "worker_fn": batch.worker_fn,
+                        "init": batch.init,
+                    }
+                return reply
+            return {"ok": True, "kind": "wait", "delay": self.wait_delay}
+
+    def _batch_info(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Re-serve a batch's setup payload (worker pruned or missed it)."""
+        with self._lock:
+            batch = self._batches.get(str(msg.get("batch")))
+            if batch is None:
+                return {
+                    "ok": False,
+                    "error": f"unknown batch {msg.get('batch')!r}",
+                }
+            return {
+                "ok": True,
+                "batch": batch.id,
+                "epoch": batch.epoch,
+                "payload": {"worker_fn": batch.worker_fn, "init": batch.init},
+            }
+
+    def _record_result(self, worker: _Worker, msg: Dict[str, Any]) -> None:
+        with self._cond:
+            worker.last_seen = time.monotonic()
+            worker.results += 1
+            batch = self._batches.get(str(msg.get("batch")))
+            if batch is None or batch.cancelled:
+                return
+            index = int(msg["index"])
+            if not 0 <= index < len(batch.tasks):
+                return  # never a shard of this batch; don't unpickle it
+            if index in batch.results:
+                batch.leases.pop(index, None)
+                batch.duplicates += 1  # an expired lease was re-run first
+                return
+        # Validated against a live batch; unpack outside the lock
+        # (results can be sizeable pickles).
+        value = unpack(msg["result"])
+        with self._cond:
+            if batch.cancelled or index in batch.results:
+                if index in batch.results:
+                    batch.duplicates += 1
+                batch.leases.pop(index, None)
+                return
+            lease = batch.leases.pop(index, None)
+            if lease is None:
+                batch.late += 1  # expired, but the original got here first
+                try:
+                    batch.pending.remove(index)
+                except ValueError:
+                    pass
+            batch.results[index] = value
+            self._cond.notify_all()
+
+    def _record_error(self, worker: _Worker, msg: Dict[str, Any]) -> None:
+        with self._cond:
+            worker.last_seen = time.monotonic()
+            batch = self._batches.get(str(msg.get("batch")))
+            if batch is None:
+                return
+            if batch.error is None:
+                batch.error = (
+                    f"worker {worker.id} ({worker.name}) on task "
+                    f"{msg.get('index')}: {msg.get('error')}"
+                )
+            batch.pending.clear()
+            self._cond.notify_all()
+
+
+def _short_hash(text: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(text.encode("ascii")).hexdigest()[:16]

@@ -1,0 +1,139 @@
+"""JSON-lines wire format shared by every socket seam in the repo.
+
+One message per line, each line one JSON object -- the framing the
+service layer (:mod:`repro.service.server`) introduced and the
+distributed shard queue (:mod:`repro.distributed.coordinator` /
+``worker``) now speaks too.  This module is the single owner of that
+framing so the two stacks cannot drift: :func:`encode_line` /
+:func:`decode_line` are the codec, :func:`pack` / :func:`unpack` carry
+Python payloads (shard tasks, :class:`VerificationResult`\\ s, compiled
+initializers) that have no natural JSON form as base64 pickles inside
+a JSON field, and :class:`LineChannel` wraps a blocking socket for the
+synchronous endpoints (the worker agent, tests, ``nc``-style tools).
+
+Dependency-free by design: both sides of every connection are this
+repository, but nothing here assumes more than a byte stream.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "DEFAULT_WORK_PORT",
+    "LineChannel",
+    "decode_line",
+    "encode_line",
+    "pack",
+    "unpack",
+]
+
+#: Default port of the distributed shard coordinator (the job service
+#: uses 7421; keeping them distinct lets one host run both).
+DEFAULT_WORK_PORT = 7422
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One message as one newline-terminated JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; raises ``ValueError`` on malformed input."""
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ValueError(
+            f"message must be a JSON object, got {type(msg).__name__}"
+        )
+    return msg
+
+
+def pack(obj: Any) -> str:
+    """Pickle ``obj`` into a JSON-safe ascii string (base64)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(data: str) -> Any:
+    """Inverse of :func:`pack`."""
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+class LineChannel:
+    """A blocking socket speaking one JSON object per line.
+
+    Thread model: any thread may :meth:`send` (writes are serialized by
+    an internal lock -- the worker's heartbeat thread and result
+    callbacks interleave safely with its main loop), but only one
+    thread may :meth:`recv`/:meth:`request` at a time.  The protocols
+    built on this keep response-matching trivial by construction: only
+    the main loop sends ops that expect a reply.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wlock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: Optional[float] = None
+    ) -> "LineChannel":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    def send(self, obj: Dict[str, Any]) -> None:
+        data = encode_line(obj)
+        with self._wlock:
+            self._sock.sendall(data)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Next message, or ``None`` on orderly EOF."""
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                return None
+            if line.strip():
+                return decode_line(line)
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message and block for its reply (EOF is an error)."""
+        self.send(obj)
+        reply = self.recv()
+        if reply is None:
+            raise ConnectionError("connection closed while awaiting reply")
+        return reply
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Shut the socket down FIRST: it unblocks any thread sitting in
+        # recv()/readline (the coordinator closes channels whose handler
+        # thread is mid-read).  Closing the buffered reader first would
+        # block on the buffer lock that reader holds -- forever, for a
+        # partitioned peer that will never send EOF.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        except (OSError, ValueError):
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "LineChannel":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,394 @@
+"""Worker agent: pull leased shards from a coordinator and run them.
+
+``python -m repro worker --connect HOST:PORT [--jobs N] [--backend B]``
+starts one :class:`ShardWorker`.  It dials *out* to the coordinator
+(so worker boxes need no open ports), announces how many slots it
+offers, and then pulls tasks one lease at a time:
+
+* ``--jobs 1`` (default): tasks run inline in the agent process;
+* ``--jobs N``: tasks fan out over a local ``multiprocessing`` pool,
+  so an 8-core box contributes 8-way process sharding under a single
+  connection -- the same pool initializer contract as the local
+  ``"process"`` executor, just fed over the wire.
+
+**Epochs.**  Tasks arrive tagged with their
+:class:`~repro.verify.exhaustive.SweepEpoch`: the ``(circuit, backend,
+width)`` setup every shard of one sweep shares.  The worker keys its
+compile state on the epoch, so the circuit is unpickled, validated
+(its :meth:`~repro.circuits.netlist.Circuit.content_hash` must match
+the coordinator's -- a mismatch refuses the batch rather than merging
+wrong results), and compiled exactly once per epoch, no matter how
+many shards of that sweep it executes or how batches interleave.
+
+**Liveness.**  A daemon thread heartbeats at the interval the
+coordinator announces, refreshing this worker's leases; if the agent
+dies instead, the dropped connection (or the lease deadline) re-queues
+its shards for the surviving workers.  The agent exits when the
+coordinator says ``bye`` or the connection closes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..backends import use_backend
+from ..circuits.netlist import Circuit
+from .wire import DEFAULT_WORK_PORT, LineChannel, pack, unpack
+
+__all__ = ["ShardWorker"]
+
+#: Epochs (and their pools, at jobs > 1) kept live per agent; a
+#: long-running worker serving many distinct sweeps releases the
+#: least-recently-used setup instead of accumulating one pool per
+#: sweep ever seen.
+MAX_LIVE_EPOCHS = 4
+#: Per-batch routing entries retained (batches complete without any
+#: notice to workers, so old entries are pruned by recency).
+MAX_BATCH_ROUTES = 64
+
+
+class _EpochState:
+    """Worker-side setup shared by every task of one epoch."""
+
+    __slots__ = ("key", "initializer", "initargs", "pool")
+
+    def __init__(self, key: str, initializer, initargs):
+        self.key = key
+        self.initializer = initializer
+        self.initargs = initargs
+        self.pool = None  # lazy; only for jobs > 1
+
+
+class _EpochMismatch(RuntimeError):
+    """The unpickled circuit is not the one the coordinator described."""
+
+
+def _pool_worker_setup(backend, initializer, initargs) -> None:
+    """Pool-child initializer: apply the agent's ``--backend``, then
+    run the sweep's own initializer.
+
+    Module-level (spawn context pickles it by reference).  The agent's
+    ``use_backend`` scope is a process-global override that spawned
+    children never inherit, so the effective default is re-applied
+    here -- otherwise ``--jobs N --backend B`` would silently compile
+    unpinned sweeps on each child's own default.
+    """
+    if backend is not None:
+        from ..backends import set_default_backend
+
+        set_default_backend(backend)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _epoch_key(meta: Dict[str, Any]) -> str:
+    return json.dumps(meta, sort_keys=True, separators=(",", ":"))
+
+
+class ShardWorker:
+    """One worker agent connection (see module docstring).
+
+    ``throttle`` sleeps that many seconds after each completed task --
+    a load-shaping knob, and what tests use to hold a lease open long
+    enough to kill the worker mid-sweep.  ``stop`` (an optional
+    ``threading.Event`` passed to :meth:`run`) makes in-process agents
+    shut down cleanly: the goodbye re-queues any leased-but-unfinished
+    shards immediately.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int = DEFAULT_WORK_PORT,
+        jobs: int = 1,
+        backend: Optional[str] = None,
+        name: Optional[str] = None,
+        throttle: float = 0.0,
+    ):
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.backend = backend
+        self.name = name or f"worker@{host}"
+        self.throttle = throttle
+        self.completed = 0
+        self._epochs: "OrderedDict[str, _EpochState]" = OrderedDict()
+        self._batch_epoch: "OrderedDict[str, str]" = OrderedDict()
+        self._batch_fn: Dict[str, Callable[[Any], Any]] = {}
+        self._active_key: Optional[str] = None
+        self._channel: Optional[LineChannel] = None
+        self._outstanding = 0
+        self._pending_cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    def run(self, stop: Optional[threading.Event] = None) -> int:
+        """Serve until the coordinator closes (or ``stop`` is set).
+
+        Returns the number of task results this agent sent.
+        """
+        channel = LineChannel.connect(self.host, self.port)
+        self._channel = channel
+        try:
+            hello = channel.request(
+                {"op": "hello", "name": self.name, "slots": self.jobs}
+            )
+            if not hello.get("ok"):
+                raise RuntimeError(f"coordinator refused hello: {hello}")
+            heartbeat = float(hello.get("heartbeat") or 5.0)
+            hb_stop = threading.Event()
+            hb = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(channel, heartbeat, hb_stop),
+                name="repro-worker-heartbeat",
+                daemon=True,
+            )
+            hb.start()
+            try:
+                if self.backend is not None:
+                    with use_backend(self.backend):
+                        self._serve(channel, stop)
+                else:
+                    self._serve(channel, stop)
+            finally:
+                hb_stop.set()
+        finally:
+            self._drain_pools()
+            try:
+                channel.send({"op": "goodbye"})
+            except OSError:
+                pass
+            channel.close()
+        return self.completed
+
+    # ------------------------------------------------------------------
+    def _serve(self, channel: LineChannel, stop) -> None:
+        while not (stop is not None and stop.is_set()):
+            # Keep up to `jobs` leases in flight (one, when inline).
+            with self._pending_cond:
+                while self._outstanding >= self.jobs:
+                    self._pending_cond.wait(timeout=0.1)
+                    if stop is not None and stop.is_set():
+                        return
+            try:
+                reply = channel.request({"op": "next"})
+            except (ConnectionError, OSError):
+                return
+            kind = reply.get("kind")
+            if kind == "bye" or not reply.get("ok"):
+                self._wait_outstanding()
+                return
+            if kind == "wait":
+                if self._outstanding == 0:
+                    time.sleep(float(reply.get("delay") or 0.25))
+                else:
+                    with self._pending_cond:
+                        self._pending_cond.wait(timeout=0.1)
+                continue
+            self._execute(channel, reply)
+
+    def _wait_outstanding(self) -> None:
+        with self._pending_cond:
+            while self._outstanding:
+                self._pending_cond.wait(timeout=0.1)
+
+    def _execute(self, channel: LineChannel, reply: Dict[str, Any]) -> None:
+        batch = str(reply["batch"])
+        index = int(reply["index"])
+        try:
+            epoch, worker_fn = self._resolve_epoch(batch, reply)
+            task = unpack(reply["task"])
+        except Exception as exc:
+            channel.send(
+                {
+                    "op": "error",
+                    "batch": batch,
+                    "index": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        if self.jobs == 1:
+            try:
+                if self._active_key != epoch.key:
+                    if epoch.initializer is not None:
+                        epoch.initializer(*epoch.initargs)
+                    self._active_key = epoch.key
+                result = worker_fn(task)
+            except Exception as exc:
+                channel.send(
+                    {
+                        "op": "error",
+                        "batch": batch,
+                        "index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                return
+            if self.throttle:
+                time.sleep(self.throttle)
+            channel.send(
+                {"op": "result", "batch": batch, "index": index,
+                 "result": pack(result)}
+            )
+            self.completed += 1
+            return
+        # Pool path: compile once per pool worker via the initializer,
+        # then pipeline up to `jobs` leased tasks through it.  Always
+        # the spawn context: this agent is multithreaded by
+        # construction (the heartbeat daemon), and forking a
+        # multithreaded process can deadlock children on locks held at
+        # fork time -- the hazard repro.verify.parallel._pool_context
+        # guards against, whose main-thread heuristic would
+        # misclassify this process.
+        if epoch.pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            epoch.pool = ctx.Pool(
+                processes=self.jobs,
+                initializer=_pool_worker_setup,
+                initargs=(self.backend, epoch.initializer, epoch.initargs),
+            )
+        with self._pending_cond:
+            self._outstanding += 1
+        epoch.pool.apply_async(
+            worker_fn,
+            (task,),
+            callback=self._pool_done(channel, batch, index),
+            error_callback=self._pool_failed(channel, batch, index),
+        )
+
+    def _pool_done(self, channel, batch: str, index: int):
+        def callback(result) -> None:
+            if self.throttle:
+                time.sleep(self.throttle)
+            try:
+                channel.send(
+                    {"op": "result", "batch": batch, "index": index,
+                     "result": pack(result)}
+                )
+                self.completed += 1
+            except OSError:
+                pass
+            with self._pending_cond:
+                self._outstanding -= 1
+                self._pending_cond.notify_all()
+
+        return callback
+
+    def _pool_failed(self, channel, batch: str, index: int):
+        def callback(exc) -> None:
+            try:
+                channel.send(
+                    {
+                        "op": "error",
+                        "batch": batch,
+                        "index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            except OSError:
+                pass
+            with self._pending_cond:
+                self._outstanding -= 1
+                self._pending_cond.notify_all()
+
+        return callback
+
+    # ------------------------------------------------------------------
+    def _resolve_epoch(
+        self, batch: str, reply: Dict[str, Any]
+    ) -> Tuple[_EpochState, Callable[[Any], Any]]:
+        """Find (or build, once) the setup shared by this task's sweep."""
+        meta = reply.get("epoch") or {}
+        payload = reply.get("payload")
+        if payload is None and not (
+            self._batch_epoch.get(batch) in self._epochs
+            and batch in self._batch_fn
+        ):
+            # The coordinator sends the setup payload once per worker
+            # per batch; if this agent has since pruned it (or never
+            # saw it), ask again rather than failing the batch.
+            assert self._channel is not None
+            info = self._channel.request({"op": "batch_info", "batch": batch})
+            if not info.get("ok"):
+                raise RuntimeError(
+                    f"coordinator has no setup for batch {batch!r}: "
+                    f"{info.get('error')}"
+                )
+            payload = info["payload"]
+            meta = info.get("epoch") or meta
+        key = _epoch_key(meta)
+        if payload is not None:
+            self._batch_fn[batch] = unpack(payload["worker_fn"])
+            if key not in self._epochs:
+                initializer, initargs = unpack(payload["init"])
+                self._validate_epoch(meta, initargs)
+                self._epochs[key] = _EpochState(key, initializer, initargs)
+                self._prune_epochs(keep=key)
+            self._batch_epoch[batch] = key
+            while len(self._batch_epoch) > MAX_BATCH_ROUTES:
+                old, _ = self._batch_epoch.popitem(last=False)
+                self._batch_fn.pop(old, None)
+        epoch_key = self._batch_epoch[batch]
+        self._epochs.move_to_end(epoch_key)
+        self._batch_epoch.move_to_end(batch)
+        return self._epochs[epoch_key], self._batch_fn[batch]
+
+    def _prune_epochs(self, keep: str) -> None:
+        """Release least-recently-used epochs (and their pools).
+
+        Eviction is deferred while tasks are in flight -- a pool may
+        only be terminated once nothing references it -- and never
+        touches ``keep`` (the epoch just installed) or the inline
+        path's active setup.
+        """
+        if len(self._epochs) <= MAX_LIVE_EPOCHS or self._outstanding:
+            return
+        for key in list(self._epochs):
+            if len(self._epochs) <= MAX_LIVE_EPOCHS:
+                return
+            if key in (keep, self._active_key):
+                continue
+            epoch = self._epochs.pop(key)
+            if epoch.pool is not None:
+                epoch.pool.terminate()
+                epoch.pool.join()
+                epoch.pool = None
+
+    @staticmethod
+    def _validate_epoch(meta: Dict[str, Any], initargs: Tuple) -> None:
+        expected = meta.get("circuit_hash")
+        if not expected:
+            return
+        circuits = [a for a in initargs if isinstance(a, Circuit)]
+        if not circuits:
+            raise _EpochMismatch(
+                f"epoch names circuit {meta.get('circuit_name')!r} "
+                f"({expected}) but the setup payload carries no circuit"
+            )
+        got = circuits[0].content_hash()
+        if got != expected:
+            raise _EpochMismatch(
+                f"circuit content hash mismatch: coordinator sweeps "
+                f"{meta.get('circuit_name')!r} {expected}, worker "
+                f"deserialized {circuits[0].name!r} {got}"
+            )
+
+    def _drain_pools(self) -> None:
+        for epoch in self._epochs.values():
+            if epoch.pool is not None:
+                epoch.pool.terminate()
+                epoch.pool.join()
+                epoch.pool = None
+
+    @staticmethod
+    def _heartbeat_loop(channel: LineChannel, interval: float, stop) -> None:
+        while not stop.wait(interval):
+            try:
+                channel.send({"op": "heartbeat"})
+            except OSError:
+                return

@@ -2,15 +2,20 @@
 
 The ROADMAP's incremental-verification item in its minimal form: a
 re-verification of an unedited netlist should not redo work it already
-did.  Shards are pure functions of ``(circuit.name, circuit.version,
-backend.name, width, g_lo, g_hi)`` -- every
-:class:`~repro.circuits.netlist.Circuit` mutator bumps ``version``, so
-an edited netlist misses on every shard while an untouched one hits on
-all of them.  The cache is consulted by
-:func:`repro.verify.parallel.verify_two_sort_sharded` (duck-typed:
-anything with ``get``/``put``) and owned by the service layer's
-:class:`~repro.service.jobs.JobManager`, which surfaces the hit/miss
-counters to clients.
+did.  Shards are pure functions of ``(circuit.name,
+circuit.content_hash(), backend.name, width, g_lo, g_hi)`` -- the
+content hash (:meth:`~repro.circuits.netlist.Circuit.content_hash`)
+digests the netlist *structure*, so an edited netlist misses on every
+shard, an untouched or identically rebuilt one hits on all of them,
+and -- unlike the old in-process ``version`` counter -- two different
+circuits that happen to share a name and mutation count can never
+collide.  Content keys are also stable across processes and hosts,
+which is what lets the distributed path
+(:mod:`repro.distributed`) consult the same cache safely.  The cache
+is consulted by :func:`repro.verify.parallel.verify_two_sort_sharded`
+(duck-typed: anything with ``get``/``put``) and owned by the service
+layer's :class:`~repro.service.jobs.JobManager`, which surfaces the
+hit/miss counters to clients.
 
 Thread-safe: job bodies run on a thread pool, and two concurrent
 verify jobs for the same circuit may read and write the same keys.
@@ -57,6 +62,11 @@ class ShardCache:
         if self.maxsize <= 0:
             return
         with self._lock:
+            # Re-putting a present key replaces the value in place and
+            # refreshes its recency; it must never count as a second
+            # entry toward maxsize (pinned by a regression test -- the
+            # distributed path re-puts keys whenever an expired lease
+            # is re-run).
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:

@@ -13,11 +13,11 @@ when the server answers ``{"ok": false}``.
 from __future__ import annotations
 
 import asyncio
-import json
-from typing import Any, AsyncIterator, Dict, Iterator, List, Optional, Union
+from typing import Any, AsyncIterator, Dict, Iterator, Optional, Union
 
+from ..distributed.wire import decode_line, encode_line
 from .jobs import Request, SortRequest, VerifyRequest, request_from_dict
-from .server import DEFAULT_HOST, DEFAULT_PORT, encode_line
+from .server import DEFAULT_HOST, DEFAULT_PORT
 
 __all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
 
@@ -83,9 +83,10 @@ class AsyncServiceClient:
         line = await self._reader.readline()
         if not line:
             raise ServiceError("connection closed by server")
-        msg = json.loads(line)
-        if not isinstance(msg, dict):
-            raise ServiceError(f"malformed response: {msg!r}")
+        try:
+            msg = decode_line(line)
+        except ValueError as exc:
+            raise ServiceError(f"malformed response: {exc}") from None
         if not msg.get("ok"):
             raise ServiceError(msg.get("error", "unknown server error"))
         return msg

@@ -38,19 +38,18 @@ self-describing, so a remote work-queue executor only needs transport.
 from __future__ import annotations
 
 import asyncio
-import json
 from typing import Any, Dict, Optional
 
+# One wire format for every socket in the repo: the JSON-lines framing
+# lives in repro.distributed.wire (shared with the shard coordinator),
+# re-exported here for existing importers.
+from ..distributed.wire import decode_line, encode_line  # noqa: F401
 from .jobs import JobManager, request_from_dict
 
-__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer"]
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer", "encode_line"]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
-
-
-def encode_line(obj: Dict[str, Any]) -> bytes:
-    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
 class ReproServer:
@@ -140,12 +139,7 @@ class ReproServer:
     async def _dispatch(
         self, line: bytes, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            msg = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"invalid JSON: {exc}") from None
-        if not isinstance(msg, dict):
-            raise ValueError("request must be a JSON object")
+        msg = decode_line(line)  # shared framing; raises ValueError
         op = msg.get("op")
         handler = {
             "ping": self._op_ping,

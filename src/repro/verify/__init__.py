@@ -2,6 +2,7 @@
 and random workloads."""
 
 from .exhaustive import (
+    SweepEpoch,
     VerificationResult,
     pair_shards,
     valid_pairs,
@@ -25,6 +26,7 @@ from .random_valid import (
 )
 
 __all__ = [
+    "SweepEpoch",
     "VerificationResult",
     "pair_shards",
     "valid_pairs",

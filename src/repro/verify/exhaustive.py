@@ -57,6 +57,51 @@ _MAX_LANES = 1 << 14
 _MAX_SHARD_LANES = 1 << 22
 
 
+@dataclass(frozen=True)
+class SweepEpoch:
+    """Self-describing setup phase of one sharded sweep.
+
+    Every shard of a sweep shares one expensive preparation step --
+    compile ``circuit`` for ``backend`` at ``width`` -- and a worker
+    (local pool worker or remote :mod:`repro.distributed` agent) must
+    perform it exactly once before executing any of that sweep's
+    shards.  The epoch names that unit of setup: workers key their
+    compile caches on it, and ``circuit_hash``
+    (:meth:`~repro.circuits.netlist.Circuit.content_hash`) lets a
+    remote worker verify the netlist it deserialized is the one the
+    coordinator is sweeping before results ever merge.
+    """
+
+    kind: str
+    circuit_name: str
+    circuit_hash: str
+    width: int
+    backend: Optional[str] = None
+
+    def key(self) -> Tuple[str, str, int, Optional[str]]:
+        """Compile-cache key: two epochs with equal keys share setup."""
+        return (self.kind, self.circuit_hash, self.width, self.backend)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "circuit_name": self.circuit_name,
+            "circuit_hash": self.circuit_hash,
+            "width": self.width,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepEpoch":
+        return cls(
+            kind=data["kind"],
+            circuit_name=data["circuit_name"],
+            circuit_hash=data["circuit_hash"],
+            width=data["width"],
+            backend=data.get("backend"),
+        )
+
+
 @dataclass
 class VerificationResult:
     """Outcome of one exhaustive sweep (or one shard of it).

@@ -25,7 +25,10 @@ Two executors ship by default:
   once and the program is reused across that worker's shards).
 
 :func:`register_executor` is the backend hook, exactly like the engine
-registry in :mod:`repro.networks.simulate`.  The ``"array"`` executor
+registry in :mod:`repro.networks.simulate`.  Two more executors ride
+on it: ``"distributed"`` leases tasks to socket-connected worker
+agents on other hosts (:mod:`repro.distributed` -- imported lazily by
+its registration stub), and the ``"array"`` executor
 uses it: an in-process executor that pins the ``array`` plane backend
 (:mod:`repro.backends`) for its tasks, so ``--jobs 1 --backend array``
 semantics are reachable purely by executor name, with no caller
@@ -53,6 +56,7 @@ from ..circuits.compiled import BackendLike, compile_circuit
 from ..circuits.netlist import Circuit
 from .exhaustive import (
     _MAX_SHARD_LANES,
+    SweepEpoch,
     VerificationResult,
     check_two_sort_shape,
     pair_shards,
@@ -98,18 +102,41 @@ _EXECUTORS: Dict[str, Executor] = {}
 #: Executors whose signature accepts ``on_result``/``should_stop``
 #: (detected at registration); others get the replay fallback.
 _STREAMING: Dict[str, bool] = {}
+#: Executors whose signature accepts ``epoch`` -- the sweep-setup
+#: descriptor remote workers key their compile caches on.  Local
+#: executors don't need it (the initializer already carries the
+#: circuit), so it is forwarded only where declared.
+_EPOCH_AWARE: Dict[str, bool] = {}
 
 
-def _supports_streaming(executor: Executor) -> bool:
+def _signature_params(executor: Executor):
     try:
         params = inspect.signature(executor).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return None
+    return params
+
+
+def _supports_streaming(executor: Executor) -> bool:
+    params = _signature_params(executor)
+    if params is None:
         return False
     if any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     ):
         return True
     return {"on_result", "should_stop"} <= set(params)
+
+
+def _supports_epoch(executor: Executor) -> bool:
+    params = _signature_params(executor)
+    if params is None:
+        return False
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return True  # same **kwargs rule as the streaming detection
+    return "epoch" in params
 
 
 def register_executor(name: str, executor: Executor) -> None:
@@ -120,10 +147,14 @@ def register_executor(name: str, executor: Executor) -> None:
     per-task streaming and cooperative cancellation; legacy executors
     without them still work -- :func:`run_sharded` replays their
     completed results through ``on_result`` afterwards and only checks
-    ``should_stop`` up front.
+    ``should_stop`` up front.  Executors declaring an ``epoch``
+    keyword additionally receive the sweep's
+    :class:`~repro.verify.exhaustive.SweepEpoch` (the ``"distributed"``
+    executor ships it to remote workers).
     """
     _EXECUTORS[name] = executor
     _STREAMING[name] = _supports_streaming(executor)
+    _EPOCH_AWARE[name] = _supports_epoch(executor)
 
 
 def available_executors() -> List[str]:
@@ -258,9 +289,44 @@ def _array_executor(
         )
 
 
+def _distributed_executor(
+    worker: Worker,
+    tasks: Sequence[Any],
+    jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+    on_result: Optional[OnResult] = None,
+    should_stop: Optional[ShouldStop] = None,
+    epoch: Optional[SweepEpoch] = None,
+) -> List[Any]:
+    """Cross-host executor: lease tasks to socket-connected workers.
+
+    A thin registration stub -- the machinery (work-queue coordinator,
+    lease/heartbeat/re-queue run loop, in-order merge) lives in
+    :mod:`repro.distributed`, imported lazily so the registry can
+    always list the name without the CLI paying the import.  ``jobs``
+    is ignored: parallelism is each *worker's* ``--jobs``.  Requires a
+    running coordinator (``--listen`` on the CLI, or
+    :func:`repro.distributed.ensure_coordinator`).
+    """
+    from ..distributed.executor import run_distributed
+
+    return run_distributed(
+        worker,
+        tasks,
+        jobs=jobs,
+        initializer=initializer,
+        initargs=initargs,
+        on_result=on_result,
+        should_stop=should_stop,
+        epoch=epoch,
+    )
+
+
 register_executor("serial", _serial_executor)
 register_executor("process", _process_executor)
 register_executor("array", _array_executor)
+register_executor("distributed", _distributed_executor)
 
 
 def run_sharded(
@@ -272,6 +338,7 @@ def run_sharded(
     initargs: Tuple = (),
     on_result: Optional[OnResult] = None,
     should_stop: Optional[ShouldStop] = None,
+    epoch: Optional[SweepEpoch] = None,
 ) -> List[Any]:
     """Run ``worker`` over ``tasks`` on a registered executor.
 
@@ -288,6 +355,12 @@ def run_sharded(
     keywords still work: their whole-batch result is replayed through
     ``on_result`` after the fact, and ``should_stop`` is only honoured
     before dispatch.
+
+    ``epoch`` optionally describes the sweep's shared setup
+    (:class:`~repro.verify.exhaustive.SweepEpoch`); it is forwarded
+    only to executors that declare the keyword (``"distributed"``
+    workers key their compile caches on it and validate circuit
+    identity against it).
     """
     tasks = list(tasks)
     jobs = default_jobs() if not jobs else max(1, jobs)
@@ -298,9 +371,13 @@ def run_sharded(
         raise KeyError(
             f"unknown executor {name!r}; available: {available_executors()}"
         ) from None
+    extra: Dict[str, Any] = {}
+    if epoch is not None and _EPOCH_AWARE.get(name, False):
+        extra["epoch"] = epoch
     if on_result is None and should_stop is None:
         return run(
-            worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs
+            worker, tasks, jobs=jobs, initializer=initializer,
+            initargs=initargs, **extra
         )
     if _STREAMING.get(name, False):
         return run(
@@ -311,12 +388,14 @@ def run_sharded(
             initargs=initargs,
             on_result=on_result,
             should_stop=should_stop,
+            **extra,
         )
     # Legacy executor: no mid-run streaming, but the contract holds.
     if should_stop is not None and should_stop():
         raise SweepCancelled([])
     out = run(
-        worker, tasks, jobs=jobs, initializer=initializer, initargs=initargs
+        worker, tasks, jobs=jobs, initializer=initializer,
+        initargs=initargs, **extra
     )
     if on_result is not None:
         for i, result in enumerate(out):
@@ -423,13 +502,14 @@ def verify_two_sort_sharded(
     * ``cache`` is an optional mapping-like object with
       ``get(key)``/``put(key, value)`` (see
       :class:`repro.service.cache.ShardCache`).  Shards are keyed on
-      ``(circuit.name, circuit.version, backend.name, width, g_lo,
-      g_hi)``; hits skip the worker entirely but still count toward
-      progress, and fresh results are inserted as they complete (so
-      even a cancelled run warms the cache).  The cache trusts
-      ``(name, version)`` to identify circuit contents -- callers that
-      mutate a circuit in place must rely on ``version`` bumps, which
-      every :class:`~repro.circuits.netlist.Circuit` mutator performs.
+      ``(circuit.name, circuit.content_hash(), backend.name, width,
+      g_lo, g_hi)`` -- the content hash identifies the netlist
+      *structure*, so a rebuilt-but-identical circuit hits while any
+      structural edit (which also bumps ``version``) misses, and two
+      different circuits can never collide the way an in-process
+      mutation counter could.  Hits skip the worker entirely but still
+      count toward progress, and fresh results are inserted as they
+      complete (so even a cancelled run warms the cache).
     """
     check_two_sort_shape(circuit, width)
     jobs = default_jobs() if not jobs else max(1, jobs)
@@ -447,6 +527,17 @@ def verify_two_sort_sharded(
         shard_size = _default_pair_shard_size(width, jobs, effective_backend)
     shards = pair_shards(width, shard_size)
     total = len(shards)
+    # The sweep's shared-setup descriptor: remote workers compile once
+    # per epoch and verify the circuit they deserialized against the
+    # content hash before any result merges.  `backend` stays the
+    # caller's *name* (None = worker default), matching the initargs.
+    epoch = SweepEpoch(
+        kind="verify-two-sort",
+        circuit_name=circuit.name,
+        circuit_hash=circuit.content_hash(),
+        width=width,
+        backend=backend,
+    )
     plain = on_shard is None and should_stop is None and cache is None
     if plain:
         # The zero-overhead path: bit-for-bit the pre-service behaviour.
@@ -458,15 +549,17 @@ def verify_two_sort_sharded(
             executor=executor,
             initializer=_init_verify_worker,
             initargs=(circuit, backend),
+            epoch=epoch,
         )
         return VerificationResult.merge(results)
 
     backend_name = get_backend(effective_backend).name
+    circuit_hash = epoch.circuit_hash
 
     def shard_key(index: int) -> Tuple:
         g_lo, g_hi = shards[index]
         return (
-            circuit.name, circuit.version, backend_name, width, g_lo, g_hi
+            circuit.name, circuit_hash, backend_name, width, g_lo, g_hi
         )
 
     results: List[Optional[VerificationResult]] = [None] * total
@@ -512,5 +605,6 @@ def verify_two_sort_sharded(
             initargs=(circuit, backend),
             on_result=_record,
             should_stop=should_stop,
+            epoch=epoch,
         )
     return VerificationResult.merge(results)

@@ -99,6 +99,99 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["verify", "--width", "4", "--backend", "gpu"])
 
+    def test_verify_executor_flag_reaches_registry(self, capsys):
+        """--executor finally exposes the registry: serial stays serial
+        even with --jobs > 1 (which used to hard-imply process)."""
+        outputs = []
+        for executor in ("serial", "process", "array"):
+            assert main(
+                ["verify", "--width", "5", "--jobs", "2",
+                 "--executor", executor]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert all("3969 cases checked: OK" in out for out in outputs)
+        assert len(set(outputs)) == 1
+
+    def test_verify_rejects_unknown_executor(self, capsys):
+        assert main(["verify", "--width", "4", "--executor", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown executor 'quantum'" in err
+        assert "serial" in err and "distributed" in err
+
+    def test_verify_executor_validated_before_work(self, monkeypatch, capsys):
+        import repro.service.jobs as jobs
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("verification ran despite bad executor")
+
+        monkeypatch.setattr(jobs, "verify_two_sort_sharded", boom)
+        assert main(["verify", "--width", "4", "--executor", "nope"]) == 2
+
+    def test_verify_distributed_requires_listen(self, capsys):
+        assert main(
+            ["verify", "--width", "4", "--executor", "distributed"]
+        ) == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_verify_listen_requires_distributed(self, capsys):
+        assert main(["verify", "--width", "4", "--listen", "7433"]) == 2
+        assert "--executor distributed" in capsys.readouterr().err
+
+    def test_verify_listen_malformed_address(self, capsys):
+        assert main(
+            ["verify", "--width", "4", "--executor", "distributed",
+             "--listen", "nonsense"]
+        ) == 2
+        assert "PORT or HOST:PORT" in capsys.readouterr().err
+
+    def test_verify_listen_busy_port_exits_2(self, capsys):
+        """A bind failure is a usage error (exit 2 + one line), not a
+        traceback -- same convention as serve's service port."""
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            assert main(
+                ["verify", "--width", "4", "--executor", "distributed",
+                 "--listen", f"127.0.0.1:{port}"]
+            ) == 2
+            assert "cannot start coordinator" in capsys.readouterr().err
+        finally:
+            blocker.close()
+            from repro.distributed import shutdown_coordinator
+
+            shutdown_coordinator()
+
+    def test_sort_rejects_unknown_executor(self, capsys):
+        assert main(["sort", "01", "00", "--executor", "quantum"]) == 2
+        assert "unknown executor" in capsys.readouterr().err
+
+    def test_sort_rejects_distributed_executor(self, capsys):
+        """sort has no --listen; demand the serve/submit route instead
+        of dying in run_sharded with a traceback."""
+        assert main(["sort", "01", "00", "--executor", "distributed"]) == 2
+        err = capsys.readouterr().err
+        assert "serve --listen" in err and "submit sort" in err
+
+    def test_sort_executor_flag(self, capsys):
+        assert main(
+            ["sort", "0110", "0M10", "0010", "--engine", "compiled",
+             "--executor", "serial"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["0010", "0M10", "0110"]
+
+    def test_worker_rejects_malformed_connect(self, capsys):
+        assert main(["worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_worker_connection_refused_exits_2(self, capsys):
+        assert main(["worker", "--connect", "127.0.0.1:1"]) == 2
+        assert "coordinator at 127.0.0.1:1" in capsys.readouterr().err
+
     def test_sort_command(self, capsys):
         assert main(["sort", "0110", "0M10", "0010", "1000"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()

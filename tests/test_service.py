@@ -163,6 +163,31 @@ class TestShardCache:
         assert cache.get("a") is None
         assert len(cache) == 0
 
+    def test_put_existing_key_refreshes_without_double_counting(self):
+        """Regression: re-putting a present key must update the value,
+        refresh its LRU recency, and never count as a second entry
+        toward maxsize.  The distributed path re-puts keys whenever an
+        expired lease is re-run, so getting this wrong would evict live
+        entries (or serve the stale value)."""
+        cache = ShardCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + replace, still 2 entries
+        assert len(cache) == 2
+        assert cache.get("a") == 10  # new value, not the stale one
+        cache.put("c", 3)  # must evict b (LRU), not a (just refreshed)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_existing_key_at_capacity_evicts_nothing(self):
+        cache = ShardCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("b", 20)
+        assert len(cache) == 2
+        assert cache.get("a") == 1 and cache.get("b") == 20
+
     def test_stats_shape(self):
         stats = ShardCache(maxsize=8).stats()
         assert set(stats) == {"entries", "maxsize", "hits", "misses"}
