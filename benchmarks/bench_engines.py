@@ -373,6 +373,120 @@ def bench_distributed_verification(width: int, workers_list) -> dict:
     }
 
 
+def bench_fault_tolerance(width: int) -> dict:
+    """Cost of durability and the payoff of shard-range leases.
+
+    * ``checkpoint``: the identical serial sweep bare, journaling every
+      shard through :class:`SweepCheckpoint` (fsync per record), and
+      then resumed from the finished journal.  The resume executes zero
+      shards -- its wall clock is pure journal replay plus merge -- and
+      must still produce a bit-identical report.
+    * ``range_leases``: the distributed sweep against a coordinator
+      capped at one shard per lease RPC vs the default adaptive range
+      (``max_range=32``).  The RPC counts show the amortization; the
+      wall clocks show what it buys even on a localhost wire.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.distributed import ShardCoordinator, ShardWorker, use_coordinator
+    from repro.distributed.checkpoint import SweepCheckpoint
+    from repro.verify.parallel import _default_pair_shard_size
+
+    circuit = build_two_sort(width)
+    compile_circuit(circuit)
+    total_pairs = len(all_valid_strings(width)) ** 2
+    shard_size = _default_pair_shard_size(width, 4)
+
+    t0 = time.perf_counter()
+    baseline = verify_two_sort_sharded(
+        circuit, width, jobs=1, shard_size=shard_size, executor="serial"
+    )
+    bare_time = time.perf_counter() - t0
+    assert baseline.ok and baseline.checked == total_pairs
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = os.path.join(tmp, "bench.jsonl")
+        with SweepCheckpoint(journal_path) as journal:
+            t0 = time.perf_counter()
+            checkpointed = verify_two_sort_sharded(
+                circuit, width, jobs=1, shard_size=shard_size,
+                executor="serial", cache=journal,
+            )
+            journal_time = time.perf_counter() - t0
+            shards = len(journal)
+        assert checkpointed.to_json() == baseline.to_json()
+
+        with SweepCheckpoint(journal_path) as journal:
+            t0 = time.perf_counter()
+            resumed = verify_two_sort_sharded(
+                circuit, width, jobs=1, shard_size=shard_size,
+                executor="serial", cache=journal,
+            )
+            resume_time = time.perf_counter() - t0
+            resume_hits = journal.hits
+        assert resumed.to_json() == baseline.to_json()
+        assert resume_hits == shards, (resume_hits, shards)
+
+    checkpoint = {
+        "shards": shards,
+        "bare_time_s": round(bare_time, 4),
+        "journaled_time_s": round(journal_time, 4),
+        "journal_overhead_x": round(journal_time / bare_time, 2),
+        "resume_time_s": round(resume_time, 4),
+        "resume_shards_recomputed": shards - resume_hits,
+    }
+
+    rows = []
+    for max_range in (1, 32):
+        coordinator = ShardCoordinator(
+            host="127.0.0.1", port=0, max_range=max_range
+        ).start()
+        stop = threading.Event()
+        agent = ShardWorker("127.0.0.1", coordinator.port, name="bench-ft")
+        thread = threading.Thread(target=agent.run, args=(stop,), daemon=True)
+        thread.start()
+        try:
+            with use_coordinator(coordinator):
+                t0 = time.perf_counter()
+                result = verify_two_sort_sharded(
+                    circuit, width, shard_size=shard_size,
+                    executor="distributed",
+                )
+                elapsed = time.perf_counter() - t0
+        finally:
+            stop.set()
+            stats = coordinator.stats()
+            coordinator.close()
+            thread.join(timeout=10)
+        assert result.ok and result.checked == baseline.checked
+        rows.append(
+            {
+                "max_range": max_range,
+                "shards": stats["tasks_leased_total"],
+                "lease_rpcs": stats["lease_rpcs_total"],
+                "time_s": round(elapsed, 4),
+            }
+        )
+    amortization = (
+        round(rows[0]["lease_rpcs"] / rows[1]["lease_rpcs"], 1)
+        if rows[1]["lease_rpcs"]
+        else None
+    )
+
+    return {
+        "width": width,
+        "pairs": total_pairs,
+        "shard_size": shard_size,
+        "checkpoint": checkpoint,
+        "range_leases": {
+            "rows": rows,
+            "rpc_amortization_x": amortization,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -394,12 +508,14 @@ def main(argv=None) -> int:
         parallel_width, parallel_jobs = 6, [1, 2]
         backend_width = 5
         distributed_width, distributed_workers = 6, [1, 2]
+        fault_width = 6
     else:
         verify_width, scalar_sample = 8, 4000
         net_width, net_vectors = 8, 1024
         parallel_width, parallel_jobs = 9, [1, 2, 4]
         backend_width = 8
         distributed_width, distributed_workers = 8, [1, 2, 4]
+        fault_width = 8
 
     print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
     exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
@@ -454,6 +570,25 @@ def main(argv=None) -> int:
             f"{entry['speedup_vs_serial']:,.2f}x vs serial)"
         )
 
+    print(f"== fault tolerance (B={fault_width}) ==")
+    fault = bench_fault_tolerance(fault_width)
+    cp = fault["checkpoint"]
+    print(
+        f"  checkpoint:  bare {cp['bare_time_s']:.4f}s, journaled "
+        f"{cp['journaled_time_s']:.4f}s ({cp['journal_overhead_x']:.2f}x), "
+        f"resume {cp['resume_time_s']:.4f}s "
+        f"({cp['resume_shards_recomputed']} shards recomputed)"
+    )
+    for row in fault["range_leases"]["rows"]:
+        print(
+            f"  max_range={row['max_range']:<3d} {row['lease_rpcs']:>4d} "
+            f"lease RPCs for {row['shards']} shards in {row['time_s']:.4f}s"
+        )
+    print(
+        "  rpc amortization: "
+        f"{fault['range_leases']['rpc_amortization_x']}x"
+    )
+
     payload = {
         "benchmark": "scalar interpreter vs compiled two-plane engine",
         "quick": args.quick,
@@ -464,6 +599,7 @@ def main(argv=None) -> int:
         "plane_backends": plane_backends,
         "parallel_verification": parallel,
         "distributed_verification": distributed,
+        "fault_tolerance": fault,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

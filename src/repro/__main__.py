@@ -11,6 +11,10 @@ verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --listen A   (with --executor distributed) coordinator address,
                     PORT or HOST:PORT (bare port binds all interfaces)
        --backend    plane backend: bigint (default) or array (numpy/words)
+       --checkpoint durable shard journal: created if missing, resumed
+                    if present (completed shards are never re-run)
+       --resume P   resume strictly from an existing journal (exit 2
+                    if it does not exist)
        --json       machine-readable result (counts, failures, timing)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
 sort g h [...]      sort valid strings with the paper's circuit
@@ -27,6 +31,10 @@ serve               run the async job service (JSON lines over TCP)
 worker              attach a shard worker to a running coordinator
      --connect H:P  coordinator address
      --jobs N       local process fan-out under this one connection
+     --retry-max    consecutive failed connects tolerated before giving
+                    up (default 10; 0 = fail fast) -- startup order is
+                    free: workers may start before the coordinator
+     --backoff-base seed of the jittered exponential reconnect delay
 submit verify|sort  submit a job to a running service, stream progress
                     (stderr) and print the result exactly like the
                     direct command would
@@ -43,6 +51,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 
@@ -139,6 +148,36 @@ def _check_executor_args(args) -> int:
     return 0
 
 
+def _check_checkpoint_args(args, *, local: bool = True) -> int:
+    """Validate --checkpoint/--resume (exit code 2 on misuse).
+
+    ``--checkpoint`` is create-or-resume; ``--resume`` insists the
+    journal already exists, so a typo'd path fails loudly instead of
+    silently starting the sweep from scratch under a fresh file.  With
+    ``local=False`` (``submit``: the journal lives wherever the service
+    runs) the existence check is skipped.
+    """
+    resume = getattr(args, "resume", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    if resume is None:
+        return 0
+    if checkpoint is not None and checkpoint != resume:
+        print(
+            "error: --resume and --checkpoint name different journals; "
+            "pass just one of them",
+            file=sys.stderr,
+        )
+        return 2
+    if local and not os.path.exists(resume):
+        print(
+            f"error: --resume {resume}: no such checkpoint journal "
+            f"(use --checkpoint to create one on the first run)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _parse_listen(value):
     """``--listen`` accepts ``PORT`` or ``HOST:PORT``.
 
@@ -191,6 +230,7 @@ def _verify_request(args) -> VerifyRequest:
         shard_size=args.shard_size,
         executor=args.executor,
         backend=args.backend,
+        checkpoint=getattr(args, "resume", None) or getattr(args, "checkpoint", None),
     )
 
 
@@ -207,7 +247,11 @@ def _print_verify_result(
 
 
 def _cmd_verify(args) -> int:
-    bad = _check_positive_args(args) or _check_executor_args(args)
+    bad = (
+        _check_positive_args(args)
+        or _check_executor_args(args)
+        or _check_checkpoint_args(args)
+    )
     if bad:
         return bad
     width = args.width
@@ -228,12 +272,34 @@ def _cmd_verify(args) -> int:
         # e.g. width < 1: a usage error, same exit code as the checks above.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if request.checkpoint and os.path.exists(request.checkpoint):
+        # Tell the operator how much of the sweep is already on file --
+        # the resume story is useless if it runs silently.
+        from .distributed.checkpoint import SweepCheckpoint
+
+        with SweepCheckpoint(request.checkpoint, fsync=False) as peek:
+            on_file = len(peek)
+        print(
+            f"checkpoint {request.checkpoint}: {on_file} shard "
+            f"result(s) on file; finished shards will not be re-run",
+            file=sys.stderr,
+            flush=True,
+        )
     if args.executor == "distributed":
         bad = _start_coordinator(args)
         if bad:
             return bad
     start = time.perf_counter()
-    result = request.run()
+    try:
+        result = request.run()
+    finally:
+        if args.executor == "distributed":
+            # Orderly teardown: workers polling this coordinator get a
+            # "bye" and exit 0 instead of burning their reconnect
+            # budget against a vanished port.
+            from .distributed import shutdown_coordinator
+
+            shutdown_coordinator()
     result.elapsed = time.perf_counter() - start
     return _print_verify_result(width, result, args.json)
 
@@ -375,7 +441,7 @@ def _progress_line(kind: str, event) -> str:
 
 
 def _cmd_submit(args) -> int:
-    bad = _check_executor_args(args)
+    bad = _check_executor_args(args) or _check_checkpoint_args(args, local=False)
     if bad:
         return bad
     if args.request_kind == "verify":
@@ -456,8 +522,20 @@ def _cmd_worker(args) -> int:
             file=sys.stderr,
         )
         return 2
-    import os
-
+    if args.retry_max < 0:
+        print(
+            f"error: --retry-max must be >= 0 (0 = fail on the first "
+            f"refused connect), got {args.retry_max}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backoff_base <= 0:
+        print(
+            f"error: --backoff-base must be a positive delay in "
+            f"seconds, got {args.backoff_base}",
+            file=sys.stderr,
+        )
+        return 2
     jobs = args.jobs or os.cpu_count() or 1
     worker = ShardWorker(
         host,
@@ -466,6 +544,8 @@ def _cmd_worker(args) -> int:
         backend=args.backend,
         name=args.name,
         throttle=args.throttle,
+        retry_max=args.retry_max,
+        backoff_base=args.backoff_base,
     )
     try:
         completed = worker.run()
@@ -551,6 +631,20 @@ def _add_verify_args(parser) -> None:
         default=None,
         choices=available_backends(),
         help="plane backend (default: bigint, or $REPRO_PLANE_BACKEND)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="durable shard journal (JSON lines): created if missing, "
+        "resumed if present -- journaled shards are never re-run",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume strictly from an existing journal (error if PATH "
+        "does not exist); implies --checkpoint PATH",
     )
     parser.add_argument(
         "--json",
@@ -672,6 +766,23 @@ def main(argv=None) -> int:
         help="plane backend for sweeps that do not pin one",
     )
     p.add_argument("--name", default=None, help="worker name in coordinator stats")
+    p.add_argument(
+        "--retry-max",
+        type=int,
+        default=10,
+        metavar="N",
+        help="consecutive failed connects tolerated before giving up "
+        "(default %(default)s; 0 = fail fast) -- lets workers start "
+        "before the coordinator and survive its restarts",
+    )
+    p.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="first reconnect delay; later attempts back off "
+        "exponentially with jitter, capped at 15s (default %(default)s)",
+    )
     p.add_argument(
         "--throttle",
         type=float,

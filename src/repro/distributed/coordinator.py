@@ -46,6 +46,7 @@ by your own cluster.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 import time
@@ -67,7 +68,10 @@ HISTORY_KEEP = 64
 class _Worker:
     """Connection-scoped record of one attached worker agent."""
 
-    __slots__ = ("id", "name", "slots", "last_seen", "results", "channel")
+    __slots__ = (
+        "id", "name", "slots", "last_seen", "results", "channel",
+        "range_size", "lease_rpcs", "tasks_leased", "last_lease_time",
+    )
 
     def __init__(self, worker_id: str, name: str, slots: int, channel):
         self.id = worker_id
@@ -76,6 +80,15 @@ class _Worker:
         self.last_seen = time.monotonic()
         self.results = 0
         self.channel = channel
+        #: Adaptive shard-range width for this worker: starts at one
+        #: task per "next" RPC, doubles when the previous range was
+        #: fully completed quickly, halves when one of its leases
+        #: expires -- amortizing RPC cost without over-committing work
+        #: to a slow or flaky worker.
+        self.range_size = 1
+        self.lease_rpcs = 0
+        self.tasks_leased = 0
+        self.last_lease_time: Optional[float] = None
 
 
 class _Batch:
@@ -216,11 +229,15 @@ class ShardCoordinator:
         port: int = DEFAULT_WORK_PORT,
         lease_timeout: float = 30.0,
         wait_delay: float = 0.25,
+        max_range: int = 32,
     ):
         self.host = host
         self.port = port
         self.lease_timeout = lease_timeout
         self.wait_delay = wait_delay
+        #: Ceiling on the adaptive per-worker shard-range width
+        #: (``max_range=1`` degrades to the one-task-per-RPC protocol).
+        self.max_range = max(1, max_range)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._batches: "Dict[str, _Batch]" = {}
@@ -229,10 +246,20 @@ class ShardCoordinator:
         self._workers: Dict[str, _Worker] = {}
         self._batch_seq = itertools.count(1)
         self._worker_seq = itertools.count(1)
+        # Batch IDs carry a per-coordinator nonce so a worker replaying
+        # a result from before a coordinator *restart* hits "unknown
+        # batch" (safely discarded) instead of colliding with a fresh
+        # batch that reused the same sequence number.
+        self._nonce = _short_hash(f"{os.getpid()}:{time.time_ns()}")[:6]
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._closing = False
         self.requeued_total = 0
+        #: "next" RPCs answered with a task range / tasks handed out --
+        #: their ratio is the range-lease amortization factor the bench
+        #: tracks.
+        self.lease_rpcs_total = 0
+        self.tasks_leased_total = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -270,11 +297,51 @@ class ShardCoordinator:
             except OSError:
                 pass
             worker.channel.close()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
+        self._close_listener()
+
+    def kill(self) -> None:
+        """Abrupt death -- the SIGKILL equivalent for chaos tests.
+
+        Every socket vanishes with no goodbye: workers see their
+        connection drop mid-conversation, exactly what a crashed host
+        looks like, and must fall back to their reconnect supervisor.
+        Unlike :meth:`close` no batch is failed gracefully -- state is
+        simply abandoned, as it would be in a dead process.
+        """
+        with self._cond:
+            self._closing = True
+            workers = list(self._workers.values())
+            self._cond.notify_all()
+        self._close_listener()
+        for worker in workers:
+            worker.channel.close()
+
+    def _close_listener(self) -> None:
+        """Close the listener *and* reap the accept thread.
+
+        ``close()`` alone leaves the accept thread blocked in
+        ``accept()`` on the dead fd; if a later socket in this process
+        reuses that fd number (say, a restarted coordinator binding the
+        same port), the zombie thread steals its connections.  A
+        ``shutdown`` wakes the blocked ``accept`` immediately so the
+        thread exits before the fd can be recycled.
+        """
+        if self._listener is None:
+            return
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        accept_thread = self._threads[0] if self._threads else None
+        if (
+            accept_thread is not None
+            and accept_thread is not threading.current_thread()
+        ):
+            accept_thread.join(timeout=5.0)
 
     def __enter__(self) -> "ShardCoordinator":
         return self.start()
@@ -308,7 +375,7 @@ class ShardCoordinator:
             # still share a worker-side epoch (keyed on the pickle).
             epoch = {"kind": "opaque", "setup_id": _short_hash(init_packed)}
         batch = _Batch(
-            batch_id=f"b{next(self._batch_seq):04d}",
+            batch_id=f"b{next(self._batch_seq):04d}-{self._nonce}",
             worker_fn=pack(worker),
             init=init_packed,
             epoch=epoch,
@@ -329,13 +396,19 @@ class ShardCoordinator:
                 "host": self.host,
                 "port": self.port,
                 "lease_timeout": self.lease_timeout,
+                "max_range": self.max_range,
                 "requeued_total": self.requeued_total,
+                "lease_rpcs_total": self.lease_rpcs_total,
+                "tasks_leased_total": self.tasks_leased_total,
                 "workers": [
                     {
                         "id": w.id,
                         "name": w.name,
                         "slots": w.slots,
                         "results": w.results,
+                        "range_size": w.range_size,
+                        "lease_rpcs": w.lease_rpcs,
+                        "tasks_leased": w.tasks_leased,
                         "leases": sum(
                             1
                             for b in self._batches.values()
@@ -392,6 +465,10 @@ class ShardCoordinator:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            with self._lock:
+                if self._closing:
+                    conn.close()
+                    return
             t = threading.Thread(
                 target=self._serve_connection,
                 args=(conn,),
@@ -410,8 +487,15 @@ class ShardCoordinator:
                 now = time.monotonic()
                 expired = 0
                 for batch in self._batches.values():
-                    for index, (_wid, deadline) in list(batch.leases.items()):
+                    for index, (wid, deadline) in list(batch.leases.items()):
                         if deadline < now:
+                            # Expiry is evidence the worker bit off more
+                            # than it chews: shrink its range grant.
+                            holder = self._workers.get(wid)
+                            if holder is not None:
+                                holder.range_size = max(
+                                    1, holder.range_size // 2
+                                )
                             batch.requeue_lease(index)
                             expired += 1
                 if expired:
@@ -502,25 +586,66 @@ class ShardCoordinator:
                     if wid == worker.id:
                         batch.leases[index] = (wid, deadline)
 
+    def _worker_lease_count_locked(self, worker_id: str) -> int:
+        return sum(
+            1
+            for b in self._batches.values()
+            for (wid, _) in b.leases.values()
+            if wid == worker_id
+        )
+
     def _lease_next(self, worker: _Worker) -> Dict[str, Any]:
+        """Lease a contiguous run of pending tasks to ``worker``.
+
+        One "next" RPC grants up to ``worker.range_size`` tasks from the
+        front of the pending queue -- contiguous in queue order, so an
+        undisturbed sweep hands each worker ascending shard runs.  The
+        grant is capped by a fairness share (ceil(pending / workers)) so
+        a grown range cannot starve newly attached workers.  Every task
+        in the range gets its *own* lease entry: results stream back per
+        index (partial-range reporting), and a mid-range death only
+        re-queues the unreported tail.
+        """
         with self._lock:
-            worker.last_seen = time.monotonic()
+            now = time.monotonic()
+            worker.last_seen = now
+            worker.lease_rpcs += 1
+            self.lease_rpcs_total += 1
             if self._closing:
                 return {"ok": True, "kind": "bye"}
             for batch in self._batches.values():
                 if batch.error is not None or batch.cancelled or not batch.pending:
                     continue
-                index = batch.pending.popleft()
-                batch.leases[index] = (
-                    worker.id,
-                    time.monotonic() + self.lease_timeout,
+                # Grow the range when the worker drained its previous
+                # grant fast (no lease still open, back within a
+                # quarter lease): the per-RPC overhead is then the
+                # dominant cost and doubling amortizes it.
+                if (
+                    worker.last_lease_time is not None
+                    and now - worker.last_lease_time < self.lease_timeout / 4
+                    and self._worker_lease_count_locked(worker.id) == 0
+                ):
+                    worker.range_size = min(
+                        self.max_range, worker.range_size * 2
+                    )
+                share = -(-len(batch.pending) // max(1, len(self._workers)))
+                count = min(
+                    worker.range_size, len(batch.pending), max(1, share)
                 )
+                deadline = now + self.lease_timeout
+                items: List[List[Any]] = []
+                for _ in range(count):
+                    index = batch.pending.popleft()
+                    batch.leases[index] = (worker.id, deadline)
+                    items.append([index, batch.tasks[index]])
+                worker.last_lease_time = now
+                worker.tasks_leased += count
+                self.tasks_leased_total += count
                 reply: Dict[str, Any] = {
                     "ok": True,
                     "kind": "task",
                     "batch": batch.id,
-                    "index": index,
-                    "task": batch.tasks[index],
+                    "items": items,
                     "epoch": batch.epoch,
                 }
                 if worker.id not in batch.payload_sent:
@@ -552,6 +677,13 @@ class ShardCoordinator:
         with self._cond:
             worker.last_seen = time.monotonic()
             worker.results += 1
+            # A result mid-range is as good as a heartbeat: refresh the
+            # deadlines of everything else this worker still holds.
+            deadline = worker.last_seen + self.lease_timeout
+            for b in self._batches.values():
+                for index, (wid, _old) in list(b.leases.items()):
+                    if wid == worker.id:
+                        b.leases[index] = (wid, deadline)
             batch = self._batches.get(str(msg.get("batch")))
             if batch is None or batch.cancelled:
                 return

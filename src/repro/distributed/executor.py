@@ -48,6 +48,7 @@ def ensure_coordinator(
     host: str = "0.0.0.0",
     port: int = DEFAULT_WORK_PORT,
     lease_timeout: float = 30.0,
+    max_range: int = 32,
 ) -> ShardCoordinator:
     """Start (once) and return the process-wide shard coordinator.
 
@@ -55,12 +56,17 @@ def ensure_coordinator(
     the arguments -- one process serves one work queue.  The default
     bind is all interfaces, since the whole point is workers on other
     hosts; pass ``host="127.0.0.1"`` for a localhost-only queue.
+    ``max_range`` caps the adaptive shard-range lease width
+    (``1`` = one task per RPC).
     """
     global _COORDINATOR
     with _LOCK:
         if _COORDINATOR is None:
             _COORDINATOR = ShardCoordinator(
-                host=host, port=port, lease_timeout=lease_timeout
+                host=host,
+                port=port,
+                lease_timeout=lease_timeout,
+                max_range=max_range,
             ).start()
         return _COORDINATOR
 

@@ -3,7 +3,7 @@
 ``python -m repro worker --connect HOST:PORT [--jobs N] [--backend B]``
 starts one :class:`ShardWorker`.  It dials *out* to the coordinator
 (so worker boxes need no open ports), announces how many slots it
-offers, and then pulls tasks one lease at a time:
+offers, and then pulls task *ranges* one lease at a time:
 
 * ``--jobs 1`` (default): tasks run inline in the agent process;
 * ``--jobs N``: tasks fan out over a local ``multiprocessing`` pool,
@@ -21,24 +21,43 @@ wrong results), and compiled exactly once per epoch, no matter how
 many shards of that sweep it executes or how batches interleave.
 
 **Liveness.**  A daemon thread heartbeats at the interval the
-coordinator announces, refreshing this worker's leases; if the agent
-dies instead, the dropped connection (or the lease deadline) re-queues
-its shards for the surviving workers.  The agent exits when the
-coordinator says ``bye`` or the connection closes.
+coordinator announces, refreshing this worker's leases; every reply
+wait is bounded (:class:`~repro.distributed.wire.ChannelTimeout`), so
+a half-open socket -- peer SIGKILLed, NAT entry dropped -- can never
+wedge the agent: a timeout while the heartbeat thread is still
+delivering is retried, a timeout past the lease deadline (or with a
+dead heartbeat) declares the connection lost.
+
+**Self-healing.**  The agent is *supervised*: a lost connection (and
+an initially absent coordinator -- startup order does not matter) is
+redialed with jittered exponential backoff, up to ``retry_max``
+consecutive failures.  Results whose send failed are kept in a replay
+buffer and re-sent after reconnecting; the coordinator's
+first-write-wins accounting (plus restart-unique batch IDs) makes a
+replay either land exactly once or be safely discarded.  The agent
+exits when the coordinator says ``bye``, ``stop`` is set, or the
+retry budget is exhausted (``ConnectionError``).
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import random
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..backends import use_backend
 from ..circuits.netlist import Circuit
-from .wire import DEFAULT_WORK_PORT, LineChannel, pack, unpack
+from .wire import (
+    DEFAULT_WORK_PORT,
+    ChannelTimeout,
+    LineChannel,
+    pack,
+    unpack,
+)
 
 __all__ = ["ShardWorker"]
 
@@ -68,6 +87,10 @@ class _EpochMismatch(RuntimeError):
     """The unpickled circuit is not the one the coordinator described."""
 
 
+class _ConnectionLost(ConnectionError):
+    """This session's transport died; the supervisor should redial."""
+
+
 def _pool_worker_setup(backend, initializer, initargs) -> None:
     """Pool-child initializer: apply the agent's ``--backend``, then
     run the sweep's own initializer.
@@ -91,7 +114,7 @@ def _epoch_key(meta: Dict[str, Any]) -> str:
 
 
 class ShardWorker:
-    """One worker agent connection (see module docstring).
+    """One supervised worker agent (see module docstring).
 
     ``throttle`` sleeps that many seconds after each completed task --
     a load-shaping knob, and what tests use to hold a lease open long
@@ -99,6 +122,15 @@ class ShardWorker:
     ``threading.Event`` passed to :meth:`run`) makes in-process agents
     shut down cleanly: the goodbye re-queues any leased-but-unfinished
     shards immediately.
+
+    Reconnection knobs: ``retry_max`` bounds *consecutive* failed
+    connect attempts (a successful session resets the count);
+    ``backoff_base`` and ``backoff_max`` shape the jittered exponential
+    delay between attempts (``retry_max=0`` restores fail-fast dialing
+    for tests and impatient scripts).  ``seed`` pins the jitter for
+    reproducible chaos runs; ``channel_wrapper`` is the fault-injection
+    seam (:class:`repro.testing.chaos.FlakyChannel`) -- it wraps every
+    freshly connected channel, heartbeats included.
     """
 
     def __init__(
@@ -109,6 +141,12 @@ class ShardWorker:
         backend: Optional[str] = None,
         name: Optional[str] = None,
         throttle: float = 0.0,
+        retry_max: int = 10,
+        backoff_base: float = 0.5,
+        backoff_max: float = 15.0,
+        connect_timeout: float = 5.0,
+        seed: Optional[int] = None,
+        channel_wrapper: Optional[Callable[[LineChannel], Any]] = None,
     ):
         self.host = host
         self.port = port
@@ -116,101 +154,274 @@ class ShardWorker:
         self.backend = backend
         self.name = name or f"worker@{host}"
         self.throttle = throttle
+        self.retry_max = max(0, retry_max)
+        self.backoff_base = max(0.0, backoff_base)
+        self.backoff_max = max(self.backoff_base, backoff_max)
+        self.connect_timeout = connect_timeout
+        self.channel_wrapper = channel_wrapper
         self.completed = 0
+        #: Sessions established after the first (telemetry for tests).
+        self.reconnects = 0
+        #: Buffered results re-sent after a reconnect.
+        self.replayed = 0
+        self._rng = random.Random(seed)
         self._epochs: "OrderedDict[str, _EpochState]" = OrderedDict()
         self._batch_epoch: "OrderedDict[str, str]" = OrderedDict()
         self._batch_fn: Dict[str, Callable[[Any], Any]] = {}
         self._active_key: Optional[str] = None
-        self._channel: Optional[LineChannel] = None
         self._outstanding = 0
         self._pending_cond = threading.Condition()
+        self._replay: List[Dict[str, Any]] = []
+        self._replay_lock = threading.Lock()
+        # Session liveness, refreshed by the heartbeat thread; defaults
+        # cover the window before the first hello reply.
+        self._heartbeat = 2.0
+        self._lease_timeout = 15.0
+        self._hb_last = 0.0
+        self._hb_dead = False
+        self._greeted = False
 
     # ------------------------------------------------------------------
     def run(self, stop: Optional[threading.Event] = None) -> int:
-        """Serve until the coordinator closes (or ``stop`` is set).
+        """Serve (and keep re-dialing) until the coordinator says bye,
+        ``stop`` is set, or ``retry_max`` consecutive connects fail.
 
-        Returns the number of task results this agent sent.
+        Returns the number of task results this agent sent; raises
+        ``ConnectionError`` when the retry budget is exhausted.
         """
-        channel = LineChannel.connect(self.host, self.port)
-        self._channel = channel
-        try:
-            hello = channel.request(
-                {"op": "hello", "name": self.name, "slots": self.jobs}
-            )
-            if not hello.get("ok"):
-                raise RuntimeError(f"coordinator refused hello: {hello}")
-            heartbeat = float(hello.get("heartbeat") or 5.0)
-            hb_stop = threading.Event()
-            hb = threading.Thread(
-                target=self._heartbeat_loop,
-                args=(channel, heartbeat, hb_stop),
-                name="repro-worker-heartbeat",
+        if stop is not None:
+            threading.Thread(
+                target=self._stop_watcher,
+                args=(stop,),
+                name="repro-worker-stopwatch",
                 daemon=True,
-            )
-            hb.start()
-            try:
-                if self.backend is not None:
-                    with use_backend(self.backend):
-                        self._serve(channel, stop)
+            ).start()
+        if self.backend is not None:
+            with use_backend(self.backend):
+                return self._run_supervised(stop)
+        return self._run_supervised(stop)
+
+    def _run_supervised(self, stop: Optional[threading.Event]) -> int:
+        attempts = 0
+        connected_before = False
+        try:
+            while not self._stop_requested(stop):
+                try:
+                    channel = LineChannel.connect(
+                        self.host, self.port, timeout=self.connect_timeout
+                    )
+                except OSError as exc:
+                    attempts += 1
+                    if attempts > self.retry_max:
+                        raise ConnectionError(
+                            f"coordinator at {self.host}:{self.port} "
+                            f"unreachable after {attempts} connect "
+                            f"attempt(s): {exc}"
+                        ) from exc
+                    if self._backoff_wait(attempts, stop):
+                        break
+                    continue
+                if connected_before:
+                    self.reconnects += 1
+                connected_before = True
+                self._greeted = False
+                try:
+                    orderly = self._session(channel, stop)
+                finally:
+                    try:
+                        channel.send({"op": "goodbye"})
+                    except OSError:
+                        pass
+                    channel.close()
+                if orderly:
+                    break
+                if self._greeted:
+                    # A real conversation happened: the budget counts
+                    # *consecutive* failures, so it refills here.
+                    attempts = 0
                 else:
-                    self._serve(channel, stop)
-            finally:
-                hb_stop.set()
+                    # Connected but never got a hello-ok (e.g. a proxy
+                    # whose upstream is down accepts then hangs up):
+                    # counts against the budget and backs off, or this
+                    # would be a tight redial loop.
+                    attempts += 1
+                    if attempts > self.retry_max:
+                        raise ConnectionError(
+                            f"coordinator at {self.host}:{self.port} "
+                            f"unreachable after {attempts} connect "
+                            f"attempt(s): connected but the handshake "
+                            f"never completed"
+                        )
+                    if self._backoff_wait(attempts, stop):
+                        break
         finally:
             self._drain_pools()
-            try:
-                channel.send({"op": "goodbye"})
-            except OSError:
-                pass
-            channel.close()
         return self.completed
 
+    def _backoff_wait(
+        self, attempts: int, stop: Optional[threading.Event]
+    ) -> bool:
+        """Sleep the backoff delay; True if ``stop`` fired meanwhile."""
+        delay = self._backoff_delay(attempts)
+        if stop is not None:
+            return stop.wait(delay)
+        time.sleep(delay)
+        return False
+
+    def _backoff_delay(self, attempts: int) -> float:
+        """Jittered exponential backoff for connect attempt ``attempts``."""
+        base = min(
+            self.backoff_max, self.backoff_base * (2 ** (attempts - 1))
+        )
+        return base * (0.5 + self._rng.random() * 0.5)
+
+    @staticmethod
+    def _stop_requested(stop: Optional[threading.Event]) -> bool:
+        return stop is not None and stop.is_set()
+
+    def _stop_watcher(self, stop: threading.Event) -> None:
+        # The serve loop's condition waits are notify-driven (no
+        # polling); a stop request must therefore wake them explicitly.
+        stop.wait()
+        with self._pending_cond:
+            self._pending_cond.notify_all()
+
     # ------------------------------------------------------------------
-    def _serve(self, channel: LineChannel, stop) -> None:
-        while not (stop is not None and stop.is_set()):
-            # Keep up to `jobs` leases in flight (one, when inline).
-            with self._pending_cond:
-                while self._outstanding >= self.jobs:
-                    self._pending_cond.wait(timeout=0.1)
-                    if stop is not None and stop.is_set():
-                        return
+    def _session(
+        self, channel: LineChannel, stop: Optional[threading.Event]
+    ) -> bool:
+        """One connected conversation; True = orderly end (don't redial)."""
+        if self.channel_wrapper is not None:
+            channel = self.channel_wrapper(channel)
+        # Batch routing never survives a session: batch IDs are unique
+        # per coordinator incarnation, so entries from the previous
+        # connection can only be garbage here.  (Epoch compile state is
+        # content-addressed and carries over untouched.)
+        self._batch_fn.clear()
+        self._batch_epoch.clear()
+        self._hb_dead = False
+        self._hb_last = time.monotonic()
+        try:
+            hello = self._request(
+                channel, {"op": "hello", "name": self.name, "slots": self.jobs}
+            )
+        except (ConnectionError, OSError, ValueError):
+            return False
+        if not hello.get("ok"):
+            raise RuntimeError(f"coordinator refused hello: {hello}")
+        self._greeted = True
+        self._heartbeat = float(hello.get("heartbeat") or 5.0)
+        self._lease_timeout = float(hello.get("lease_timeout") or 30.0)
+        hb_stop = threading.Event()
+        hb = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(channel, self._heartbeat, hb_stop),
+            name="repro-worker-heartbeat",
+            daemon=True,
+        )
+        hb.start()
+        try:
+            self._flush_replay(channel)
+            return self._serve(channel, stop)
+        except (ConnectionError, OSError, ValueError):
+            return False
+        finally:
+            hb_stop.set()
+
+    def _request(
+        self, channel: LineChannel, msg: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Send one op and await its reply, never blocking forever.
+
+        The coordinator answers every op immediately, so waiting is
+        only ever transport trouble.  Each recv is a short bounded
+        slice: a timeout while the heartbeat thread still delivers is
+        retried (satellite of the half-open-socket fix -- live peer,
+        slow wire), but once the total wait passes the lease deadline
+        (or the heartbeat has died) the connection is declared lost so
+        the supervisor can redial.
+        """
+        try:
+            channel.send(msg)
+        except OSError as exc:
+            raise _ConnectionLost(f"send failed: {exc}") from exc
+        deadline = time.monotonic() + max(
+            self._lease_timeout, 4 * self._heartbeat
+        )
+        slice_s = min(max(self._heartbeat, 0.2), 1.0)
+        while True:
             try:
-                reply = channel.request({"op": "next"})
-            except (ConnectionError, OSError):
-                return
+                reply = channel.recv(timeout=slice_s)
+            except ChannelTimeout:
+                if self._hb_dead or time.monotonic() > deadline:
+                    raise _ConnectionLost(
+                        "no reply within the lease window (half-open "
+                        "connection)"
+                    ) from None
+                continue
+            except OSError as exc:
+                raise _ConnectionLost(f"recv failed: {exc}") from exc
+            if reply is None:
+                raise _ConnectionLost("connection closed by coordinator")
+            return reply
+
+    # ------------------------------------------------------------------
+    def _serve(
+        self, channel: LineChannel, stop: Optional[threading.Event]
+    ) -> bool:
+        while True:
+            # Keep up to `jobs` tasks in flight; the wait is woken by
+            # pool completions (or the stop watcher), not a poll timer.
+            with self._pending_cond:
+                while (
+                    self._outstanding >= self.jobs
+                    and not self._stop_requested(stop)
+                ):
+                    self._pending_cond.wait()
+            if self._stop_requested(stop):
+                return True
+            reply = self._request(channel, {"op": "next"})
             kind = reply.get("kind")
             if kind == "bye" or not reply.get("ok"):
                 self._wait_outstanding()
-                return
+                return True
             if kind == "wait":
+                delay = float(reply.get("delay") or 0.25)
                 if self._outstanding == 0:
-                    time.sleep(float(reply.get("delay") or 0.25))
+                    if stop is not None:
+                        if stop.wait(delay):
+                            return True
+                    else:
+                        time.sleep(delay)
                 else:
                     with self._pending_cond:
-                        self._pending_cond.wait(timeout=0.1)
+                        self._pending_cond.wait(timeout=delay)
                 continue
-            self._execute(channel, reply)
+            self._execute(channel, reply, stop)
 
     def _wait_outstanding(self) -> None:
         with self._pending_cond:
             while self._outstanding:
-                self._pending_cond.wait(timeout=0.1)
+                self._pending_cond.wait()
 
-    def _execute(self, channel: LineChannel, reply: Dict[str, Any]) -> None:
+    def _execute(
+        self,
+        channel: LineChannel,
+        reply: Dict[str, Any],
+        stop: Optional[threading.Event],
+    ) -> None:
         batch = str(reply["batch"])
-        index = int(reply["index"])
+        items = reply.get("items")
+        if items is None:  # single-task reply shape (pre-range protocol)
+            items = [[reply["index"], reply["task"]]]
+        first_index = int(items[0][0])
         try:
-            epoch, worker_fn = self._resolve_epoch(batch, reply)
-            task = unpack(reply["task"])
+            epoch, worker_fn = self._resolve_epoch(channel, batch, reply)
+            tasks = [(int(i), unpack(t)) for i, t in items]
+        except _ConnectionLost:
+            raise
         except Exception as exc:
-            channel.send(
-                {
-                    "op": "error",
-                    "batch": batch,
-                    "index": index,
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
-            )
+            self._send_error(channel, batch, first_index, exc)
             return
         if self.jobs == 1:
             try:
@@ -218,33 +429,31 @@ class ShardWorker:
                     if epoch.initializer is not None:
                         epoch.initializer(*epoch.initargs)
                     self._active_key = epoch.key
-                result = worker_fn(task)
             except Exception as exc:
-                channel.send(
-                    {
-                        "op": "error",
-                        "batch": batch,
-                        "index": index,
-                        "error": f"{type(exc).__name__}: {exc}",
-                    }
-                )
+                self._send_error(channel, batch, first_index, exc)
                 return
-            if self.throttle:
-                time.sleep(self.throttle)
-            channel.send(
-                {"op": "result", "batch": batch, "index": index,
-                 "result": pack(result)}
-            )
-            self.completed += 1
+            for index, task in tasks:
+                if self._stop_requested(stop):
+                    # Abandon the unexecuted tail: the goodbye (or the
+                    # lease deadline) re-queues it -- partial-range
+                    # reporting means everything already sent counts.
+                    return
+                try:
+                    result = worker_fn(task)
+                except Exception as exc:
+                    self._send_error(channel, batch, index, exc)
+                    return
+                if self.throttle:
+                    time.sleep(self.throttle)
+                self._post_result(channel, batch, index, pack(result))
             return
         # Pool path: compile once per pool worker via the initializer,
-        # then pipeline up to `jobs` leased tasks through it.  Always
-        # the spawn context: this agent is multithreaded by
-        # construction (the heartbeat daemon), and forking a
-        # multithreaded process can deadlock children on locks held at
-        # fork time -- the hazard repro.verify.parallel._pool_context
-        # guards against, whose main-thread heuristic would
-        # misclassify this process.
+        # then pipeline leased tasks through it.  Always the spawn
+        # context: this agent is multithreaded by construction (the
+        # heartbeat daemon), and forking a multithreaded process can
+        # deadlock children on locks held at fork time -- the hazard
+        # repro.verify.parallel._pool_context guards against, whose
+        # main-thread heuristic would misclassify this process.
         if epoch.pool is None:
             ctx = multiprocessing.get_context("spawn")
             epoch.pool = ctx.Pool(
@@ -253,26 +462,81 @@ class ShardWorker:
                 initargs=(self.backend, epoch.initializer, epoch.initargs),
             )
         with self._pending_cond:
-            self._outstanding += 1
-        epoch.pool.apply_async(
-            worker_fn,
-            (task,),
-            callback=self._pool_done(channel, batch, index),
-            error_callback=self._pool_failed(channel, batch, index),
-        )
+            self._outstanding += len(tasks)
+        for index, task in tasks:
+            epoch.pool.apply_async(
+                worker_fn,
+                (task,),
+                callback=self._pool_done(channel, batch, index),
+                error_callback=self._pool_failed(channel, batch, index),
+            )
+
+    # ------------------------------------------------------------------
+    # Result / error delivery (replay-buffered)
+    # ------------------------------------------------------------------
+    def _post_result(
+        self, channel, batch: str, index: int, packed: str
+    ) -> None:
+        msg = {"op": "result", "batch": batch, "index": index,
+               "result": packed}
+        try:
+            channel.send(msg)
+        except OSError as exc:
+            # Keep the computed result: it is replayed on the next
+            # session (first-write-wins upstream makes that idempotent,
+            # and restart-unique batch IDs make it safe to discard).
+            with self._replay_lock:
+                self._replay.append(msg)
+            raise _ConnectionLost(f"result send failed: {exc}") from exc
+        self.completed += 1
+
+    def _flush_replay(self, channel) -> None:
+        with self._replay_lock:
+            msgs, self._replay = self._replay, []
+        if not msgs:
+            return
+        for k, msg in enumerate(msgs):
+            try:
+                channel.send(msg)
+            except OSError as exc:
+                with self._replay_lock:
+                    self._replay = msgs[k:] + self._replay
+                raise _ConnectionLost(
+                    f"replay send failed: {exc}"
+                ) from exc
+            self.completed += 1
+            self.replayed += 1
+
+    def _send_error(self, channel, batch: str, index: int, exc) -> None:
+        # Errors are not replay-buffered: if the send is lost the lease
+        # expires and the shard re-runs (re-raising) on a live
+        # connection, so the failure still surfaces.
+        try:
+            channel.send(
+                {
+                    "op": "error",
+                    "batch": batch,
+                    "index": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        except OSError as send_exc:
+            raise _ConnectionLost(
+                f"error send failed: {send_exc}"
+            ) from send_exc
 
     def _pool_done(self, channel, batch: str, index: int):
         def callback(result) -> None:
             if self.throttle:
                 time.sleep(self.throttle)
+            msg = {"op": "result", "batch": batch, "index": index,
+                   "result": pack(result)}
             try:
-                channel.send(
-                    {"op": "result", "batch": batch, "index": index,
-                     "result": pack(result)}
-                )
+                channel.send(msg)
                 self.completed += 1
             except OSError:
-                pass
+                with self._replay_lock:
+                    self._replay.append(msg)
             with self._pending_cond:
                 self._outstanding -= 1
                 self._pending_cond.notify_all()
@@ -300,7 +564,7 @@ class ShardWorker:
 
     # ------------------------------------------------------------------
     def _resolve_epoch(
-        self, batch: str, reply: Dict[str, Any]
+        self, channel: LineChannel, batch: str, reply: Dict[str, Any]
     ) -> Tuple[_EpochState, Callable[[Any], Any]]:
         """Find (or build, once) the setup shared by this task's sweep."""
         meta = reply.get("epoch") or {}
@@ -312,8 +576,7 @@ class ShardWorker:
             # The coordinator sends the setup payload once per worker
             # per batch; if this agent has since pruned it (or never
             # saw it), ask again rather than failing the batch.
-            assert self._channel is not None
-            info = self._channel.request({"op": "batch_info", "batch": batch})
+            info = self._request(channel, {"op": "batch_info", "batch": batch})
             if not info.get("ok"):
                 raise RuntimeError(
                     f"coordinator has no setup for batch {batch!r}: "
@@ -385,10 +648,11 @@ class ShardWorker:
                 epoch.pool.join()
                 epoch.pool = None
 
-    @staticmethod
-    def _heartbeat_loop(channel: LineChannel, interval: float, stop) -> None:
+    def _heartbeat_loop(self, channel, interval: float, stop) -> None:
         while not stop.wait(interval):
             try:
                 channel.send({"op": "heartbeat"})
+                self._hb_last = time.monotonic()
             except OSError:
+                self._hb_dead = True
                 return

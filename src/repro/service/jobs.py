@@ -116,6 +116,12 @@ class VerifyRequest:
 
     The service twin of ``python -m repro verify``: same parameters,
     same semantics (``jobs=0`` means one worker per core), same result.
+
+    ``checkpoint`` names a durable shard journal
+    (:class:`repro.distributed.checkpoint.SweepCheckpoint`) on the
+    *executing* host: shards already journaled there are skipped, fresh
+    ones are appended as they complete, so a killed job resubmitted
+    with the same checkpoint resumes instead of restarting.
     """
 
     width: int
@@ -123,6 +129,7 @@ class VerifyRequest:
     shard_size: Optional[int] = None
     executor: Optional[str] = None
     backend: Optional[str] = None
+    checkpoint: Optional[str] = None
 
     kind: ClassVar[str] = "verify"
 
@@ -133,6 +140,12 @@ class VerifyRequest:
                 f"(beyond B={MAX_VERIFY_WIDTH} the 4^B pair domain outgrows "
                 f"exhaustive verification)"
             )
+        if self.checkpoint is not None and (
+            not isinstance(self.checkpoint, str) or not self.checkpoint
+        ):
+            raise ValueError(
+                "checkpoint must be a non-empty journal path"
+            )
         _validate_sharding(self.jobs, self.shard_size, self.executor, self.backend)
 
     def describe(self) -> str:
@@ -142,7 +155,7 @@ class VerifyRequest:
         out: Dict[str, Any] = {"kind": self.kind, "width": self.width}
         if self.jobs != 1:
             out["jobs"] = self.jobs
-        for name in ("shard_size", "executor", "backend"):
+        for name in ("shard_size", "executor", "backend", "checkpoint"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -157,17 +170,31 @@ class VerifyRequest:
         """The single synchronous code path (CLI, service, and tests)."""
         self.validate()
         circuit = build_two_sort(self.width)
-        return verify_two_sort_sharded(
-            circuit,
-            self.width,
-            jobs=self.jobs or None,
-            shard_size=self.shard_size,
-            executor=self.executor,
-            backend=self.backend,
-            on_shard=on_shard,
-            should_stop=should_stop,
-            cache=cache,
-        )
+        journal = None
+        if self.checkpoint is not None:
+            # Imported lazily: the checkpoint layer must not make every
+            # service import pay for repro.distributed.
+            from ..distributed.checkpoint import StackedCache, SweepCheckpoint
+
+            journal = SweepCheckpoint(self.checkpoint)
+            cache = (
+                StackedCache(journal, cache) if cache is not None else journal
+            )
+        try:
+            return verify_two_sort_sharded(
+                circuit,
+                self.width,
+                jobs=self.jobs or None,
+                shard_size=self.shard_size,
+                executor=self.executor,
+                backend=self.backend,
+                on_shard=on_shard,
+                should_stop=should_stop,
+                cache=cache,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
 
     def result_to_dict(self, result: VerificationResult) -> Dict[str, Any]:
         return result.to_dict()

@@ -1,0 +1,15 @@
+"""Test-support machinery that ships with the library.
+
+Fault injection for the distributed stack lives here
+(:mod:`repro.testing.chaos`) rather than under ``tests/`` because the
+CI chaos-smoke job and the examples drive it as a real process
+(``python -m repro.testing.chaos``), and because downstream embedders
+hardening their own deployments deserve the same harness we use.
+
+Imported lazily by nothing in the library proper: ``import repro``
+never pays for this package.
+"""
+
+from .chaos import ChaosProxy, FaultSchedule, FlakyChannel
+
+__all__ = ["ChaosProxy", "FaultSchedule", "FlakyChannel"]

@@ -1,0 +1,410 @@
+"""Chaos injection for the distributed stack: seeded, deterministic.
+
+The fault-tolerance guarantees of :mod:`repro.distributed` -- durable
+checkpoints, auto-reconnect, lease re-queues, first-write-wins merges
+-- are only guarantees if they are *exercised*.  This module turns the
+repo's own failure machinery on itself, in two shapes:
+
+* :class:`FlakyChannel` wraps one
+  :class:`~repro.distributed.wire.LineChannel` and injects faults at
+  the message level (drop a send, delay it, truncate it mid-line and
+  kill the connection).  It plugs into
+  :class:`~repro.distributed.worker.ShardWorker` via its
+  ``channel_wrapper`` seam, so every session a reconnecting worker
+  opens is independently unreliable.
+
+* :class:`ChaosProxy` is a TCP man-in-the-middle: point workers at the
+  proxy, the proxy at the coordinator, and it forwards byte chunks
+  while occasionally delaying, truncating, or killing whole
+  connections.  Because it works below the protocol, it exercises
+  exactly the failures a real network produces -- half-delivered
+  lines, connections dying mid-reply -- and survives coordinator
+  restarts (each client connection dials upstream fresh).
+
+Everything is driven by :class:`FaultSchedule`, a seeded RNG over
+fault rates, so a chaos run is *reproducible*: same seed, same faults,
+same (byte-identical) final report.
+
+CLI (used by the CI ``chaos-smoke`` job)::
+
+    python -m repro.testing.chaos --port 7440 --target 127.0.0.1:7422 \\
+        --seed 11 --delay-rate 0.05 --truncate-rate 0.01 --kill-after-bytes 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..distributed.wire import LineChannel, encode_line
+
+__all__ = ["ChaosProxy", "FaultSchedule", "FlakyChannel"]
+
+
+class FaultSchedule:
+    """Deterministic stream of fault decisions.
+
+    Each :meth:`next_fault` draws once from a seeded RNG and returns
+    ``None`` (no fault) or one of ``"drop"``, ``"delay"``,
+    ``"truncate"`` with the configured probabilities.  Determinism is
+    per-instance: two schedules with the same seed and rates make
+    identical decisions, which is what makes a chaos test a test.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        delay_s: float = 0.02,
+    ):
+        self.rng = random.Random(seed)
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.truncate_rate = truncate_rate
+        self.delay_s = delay_s
+        self.counts: Dict[str, int] = {
+            "drop": 0, "delay": 0, "truncate": 0, "clean": 0
+        }
+        self._lock = threading.Lock()
+
+    def next_fault(self) -> Optional[str]:
+        with self._lock:
+            r = self.rng.random()
+            if r < self.drop_rate:
+                fault = "drop"
+            elif r < self.drop_rate + self.delay_rate:
+                fault = "delay"
+            elif r < self.drop_rate + self.delay_rate + self.truncate_rate:
+                fault = "truncate"
+            else:
+                fault = None
+            self.counts[fault or "clean"] += 1
+            return fault
+
+
+class FlakyChannel:
+    """A :class:`LineChannel` whose *sends* misbehave on schedule.
+
+    Outgoing messages are the right injection point: from the wrapped
+    endpoint's perspective a dropped send and a peer that never
+    received are indistinguishable, so one seam covers both directions
+    of protocol loss.  Faults:
+
+    * ``drop`` -- the message silently never leaves (the peer's reply
+      never comes; the sender's bounded recv must recover);
+    * ``delay`` -- the message is held ``delay_s`` seconds first
+      (reordering-free, so framing stays valid);
+    * ``truncate`` -- half the encoded line is written and the
+      connection is closed, exactly the torn write a crash mid-send
+      produces.
+
+    ``recv``/``request``/``close`` delegate to the wrapped channel, so
+    a FlakyChannel drops into any LineChannel seat --
+    ``ShardWorker(channel_wrapper=...)`` being the intended one.
+    """
+
+    def __init__(self, channel: LineChannel, schedule: FaultSchedule):
+        self.channel = channel
+        self.schedule = schedule
+
+    def send(self, obj: Dict[str, Any]) -> None:
+        fault = self.schedule.next_fault()
+        if fault == "drop":
+            return
+        data = encode_line(obj)
+        if fault == "delay":
+            time.sleep(self.schedule.delay_s)
+        elif fault == "truncate":
+            try:
+                self.channel.send_raw(data[: max(1, len(data) // 2)])
+            finally:
+                self.channel.close()
+            return
+        self.channel.send_raw(data)
+
+    def send_raw(self, data: bytes) -> None:
+        self.channel.send_raw(data)
+
+    def recv(self, *args: Any, **kwargs: Any):
+        return self.channel.recv(*args, **kwargs)
+
+    def request(self, obj: Dict[str, Any], **kwargs: Any) -> Dict[str, Any]:
+        self.send(obj)
+        reply = self.channel.recv(**kwargs)
+        if reply is None:
+            raise ConnectionError("connection closed while awaiting reply")
+        return reply
+
+    def close(self) -> None:
+        self.channel.close()
+
+    def __enter__(self) -> "FlakyChannel":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ChaosProxy:
+    """Seeded TCP man-in-the-middle between workers and a coordinator.
+
+    Listens on ``(host, port)`` (``port=0`` = ephemeral; read
+    :attr:`port` after :meth:`start`) and forwards every accepted
+    connection to ``(target_host, target_port)``.  Per forwarded chunk
+    it may *delay*, *truncate* (forward half the chunk, then kill the
+    connection), or *kill* (drop the connection outright);
+    ``kill_after_bytes`` additionally kills any connection after that
+    many relayed bytes, which guarantees churn on long-lived worker
+    connections regardless of rates.
+
+    Fault decisions derive deterministically from ``(seed, connection
+    index)``, so a run is reproducible even though connections race.
+    A dead upstream is survived: clients accepted while the target is
+    down are closed immediately (the worker's backoff handles it), and
+    new connections dial the target fresh -- so one proxy spans a
+    coordinator restart.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        delay_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        kill_rate: float = 0.0,
+        delay_s: float = 0.02,
+        kill_after_bytes: Optional[int] = None,
+    ):
+        self.target_host = target_host
+        self.target_port = target_port
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.delay_rate = delay_rate
+        self.truncate_rate = truncate_rate
+        self.kill_rate = kill_rate
+        self.delay_s = delay_s
+        self.kill_after_bytes = kill_after_bytes
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._closing = False
+        self._conn_seq = 0
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "refused": 0,
+            "kills": 0,
+            "truncations": 0,
+            "delays": 0,
+            "bytes": 0,
+        }
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        t = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+        return self
+
+    def close(self) -> None:
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._conn_seq += 1
+                conn_index = self._conn_seq
+                self.stats["connections"] += 1
+            try:
+                upstream = socket.create_connection(
+                    (self.target_host, self.target_port), timeout=5.0
+                )
+            except OSError:
+                # Target down (e.g. coordinator mid-restart): refuse the
+                # client and keep serving -- its backoff will retry.
+                with self._lock:
+                    self.stats["refused"] += 1
+                client.close()
+                continue
+            # Per-connection RNG keyed on (seed, index): deterministic
+            # even though connections are accepted concurrently.
+            rng = random.Random((self.seed << 20) ^ conn_index)
+            state = _ConnState(client, upstream, rng)
+            for src, dst, label in (
+                (client, upstream, "up"),
+                (upstream, client, "down"),
+            ):
+                t = threading.Thread(
+                    target=self._pump,
+                    args=(state, src, dst),
+                    name=f"repro-chaos-{label}{conn_index}",
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+
+    def _pump(
+        self, state: "_ConnState", src: socket.socket, dst: socket.socket
+    ) -> None:
+        try:
+            while True:
+                chunk = src.recv(4096)
+                if not chunk:
+                    return
+                fault = self._decide(state)
+                if fault == "kill":
+                    with self._lock:
+                        self.stats["kills"] += 1
+                    return
+                if fault == "truncate":
+                    with self._lock:
+                        self.stats["truncations"] += 1
+                    dst.sendall(chunk[: max(1, len(chunk) // 2)])
+                    return
+                if fault == "delay":
+                    with self._lock:
+                        self.stats["delays"] += 1
+                    time.sleep(self.delay_s)
+                dst.sendall(chunk)
+                with state.lock:
+                    state.relayed += len(chunk)
+                with self._lock:
+                    self.stats["bytes"] += len(chunk)
+        except OSError:
+            return
+        finally:
+            # One dead direction kills the pair: half-relayed
+            # conversations must look like dropped connections, not
+            # hang half-open.
+            state.shutdown()
+
+    def _decide(self, state: "_ConnState") -> Optional[str]:
+        with state.lock:
+            if (
+                self.kill_after_bytes is not None
+                and state.relayed >= self.kill_after_bytes
+            ):
+                return "kill"
+            r = state.rng.random()
+        if r < self.kill_rate:
+            return "kill"
+        if r < self.kill_rate + self.truncate_rate:
+            return "truncate"
+        if r < self.kill_rate + self.truncate_rate + self.delay_rate:
+            return "delay"
+        return None
+
+
+class _ConnState:
+    """Shared fate of one proxied connection (both pump directions)."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket, rng):
+        self.client = client
+        self.upstream = upstream
+        self.rng = rng
+        self.relayed = 0
+        self.lock = threading.Lock()
+        self._dead = False
+
+    def shutdown(self) -> None:
+        with self.lock:
+            if self._dead:
+                return
+            self._dead = True
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    if ":" in value:
+        host, _, port = value.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    return "127.0.0.1", int(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.chaos",
+        description="Seeded TCP fault-injection proxy (see module docs).",
+    )
+    parser.add_argument("--port", type=int, required=True,
+                        help="port to listen on")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--target", required=True,
+                        help="upstream HOST:PORT to forward to")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--delay-rate", type=float, default=0.0)
+    parser.add_argument("--truncate-rate", type=float, default=0.0)
+    parser.add_argument("--kill-rate", type=float, default=0.0)
+    parser.add_argument("--delay-s", type=float, default=0.02)
+    parser.add_argument("--kill-after-bytes", type=int, default=None)
+    args = parser.parse_args(argv)
+    target_host, target_port = _parse_hostport(args.target)
+    proxy = ChaosProxy(
+        target_host,
+        target_port,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        delay_rate=args.delay_rate,
+        truncate_rate=args.truncate_rate,
+        kill_rate=args.kill_rate,
+        delay_s=args.delay_s,
+        kill_after_bytes=args.kill_after_bytes,
+    ).start()
+    print(
+        f"chaos proxy: {proxy.host}:{proxy.port} -> "
+        f"{target_host}:{target_port} (seed {args.seed})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        proxy.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ tracks the exact ratio).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -90,6 +91,19 @@ class SweepEpoch:
             "width": self.width,
             "backend": self.backend,
         }
+
+    def fingerprint(self) -> str:
+        """Stable short digest of the whole descriptor.
+
+        Content-addressed identity for an epoch *as serialized* -- the
+        checkpoint journal (:mod:`repro.distributed.checkpoint`) dedups
+        its epoch records on it, and audits can match a journal to a
+        sweep without comparing field by field.
+        """
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepEpoch":

@@ -555,6 +555,11 @@ def verify_two_sort_sharded(
 
     backend_name = get_backend(effective_backend).name
     circuit_hash = epoch.circuit_hash
+    # Caches that journal sweeps (SweepCheckpoint) take the epoch
+    # descriptor up front, so the journal is self-describing even if
+    # the run dies before any shard completes.
+    if cache is not None and hasattr(cache, "record_epoch"):
+        cache.record_epoch(epoch, shards=total, shard_size=shard_size)
 
     def shard_key(index: int) -> Tuple:
         g_lo, g_hi = shards[index]

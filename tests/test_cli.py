@@ -189,8 +189,54 @@ class TestCli:
         assert "HOST:PORT" in capsys.readouterr().err
 
     def test_worker_connection_refused_exits_2(self, capsys):
-        assert main(["worker", "--connect", "127.0.0.1:1"]) == 2
-        assert "coordinator at 127.0.0.1:1" in capsys.readouterr().err
+        # --retry-max 0 keeps this a fail-fast test; the default budget
+        # retries with backoff for over a minute (see
+        # test_fault_tolerance for the retry/backoff behaviour itself).
+        assert main(
+            ["worker", "--connect", "127.0.0.1:1", "--retry-max", "0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "coordinator at 127.0.0.1:1" in err
+        assert "connect attempt" in err
+
+    def test_worker_rejects_negative_retry_max(self, capsys):
+        assert main(
+            ["worker", "--connect", "127.0.0.1:1", "--retry-max", "-1"]
+        ) == 2
+        assert "--retry-max" in capsys.readouterr().err
+
+    def test_worker_rejects_nonpositive_backoff(self, capsys):
+        assert main(
+            ["worker", "--connect", "127.0.0.1:1", "--backoff-base", "0"]
+        ) == 2
+        assert "--backoff-base" in capsys.readouterr().err
+
+    def test_verify_resume_requires_existing_journal(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["verify", "--width", "4", "--resume", missing]) == 2
+        assert "no such checkpoint journal" in capsys.readouterr().err
+
+    def test_verify_resume_checkpoint_conflict(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        assert main(
+            ["verify", "--width", "4", "--resume", a, "--checkpoint", b]
+        ) == 2
+        assert "different journals" in capsys.readouterr().err
+
+    def test_verify_checkpoint_roundtrip(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(
+            ["verify", "--width", "4", "--checkpoint", journal]
+        ) == 0
+        first = capsys.readouterr()
+        assert "OK" in first.out
+        # Second run resumes: same report, and the resume banner counts
+        # the journaled shards.
+        assert main(["verify", "--width", "4", "--resume", journal]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "shard result(s) on file" in second.err
 
     def test_sort_command(self, capsys):
         assert main(["sort", "0110", "0M10", "0010", "1000"]) == 0
