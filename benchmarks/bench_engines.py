@@ -487,6 +487,119 @@ def bench_fault_tolerance(width: int) -> dict:
     }
 
 
+def bench_verification_store(width: int) -> dict:
+    """Cold vs warm store sweeps and the one-gate-edit incremental cost.
+
+    * ``cold`` vs ``warm``: the identical serial sweep against a fresh
+      WAL-sqlite store and then again against the populated store.  The
+      warm run must execute **zero** shards (``puts == 0``) and still
+      produce a bit-identical report -- its wall clock is pure lookup
+      plus merge.
+    * ``incremental``: a double-INV splice on one output (functionally
+      identity, structurally a new netlist) re-verified against the warm
+      store.  Per-region hashing means only the edited cone's shards
+      re-execute; everything else is a region hit.
+    * ``journal_cold``: the same cold sweep through the JSON-lines
+      backend, so the sqlite-vs-journal write cost is on the record.
+    """
+    import os
+    import tempfile
+
+    from repro.circuits.gates import INV
+    from repro.store import open_store
+    from repro.verify.parallel import _default_pair_shard_size
+
+    circuit = build_two_sort(width)
+    compile_circuit(circuit)
+    total_pairs = len(all_valid_strings(width)) ** 2
+    regions = 2 * width
+    shard_size = _default_pair_shard_size(width, 4)
+
+    t0 = time.perf_counter()
+    baseline = verify_two_sort_sharded(
+        circuit, width, jobs=1, shard_size=shard_size, executor="serial"
+    )
+    bare_time = time.perf_counter() - t0
+    assert baseline.ok and baseline.checked == total_pairs
+
+    # Functionally-identity structural edit confined to one output cone.
+    edited = circuit.copy()
+    root = edited.outputs[3]
+    n1 = edited.add_gate(INV, [root], output="__bench_inv0")
+    n2 = edited.add_gate(INV, [n1], output="__bench_inv1")
+    edited.replace_output(3, n2)
+
+    def sweep(target, store):
+        before = dict(store.counters())
+        t0 = time.perf_counter()
+        result = verify_two_sort_sharded(
+            target, width, jobs=1, shard_size=shard_size,
+            executor="serial", store=store,
+        )
+        elapsed = time.perf_counter() - t0
+        assert result.ok and result.checked == total_pairs
+        after = store.counters()
+        delta = {k: after[k] - before.get(k, 0) for k in ("hits", "misses", "puts")}
+        return result, elapsed, delta
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with open_store(os.path.join(tmp, "bench.db")) as store:
+            cold, cold_time, cold_io = sweep(circuit, store)
+            assert cold.to_json() == baseline.to_json()
+            warm, warm_time, warm_io = sweep(circuit, store)
+            assert warm.to_json() == baseline.to_json()
+            inc, inc_time, inc_io = sweep(edited, store)
+            runs = store.runs()
+            digests = [r.result_digest for r in runs]
+            audited_runs = len(runs)
+        assert digests[0] == digests[1], digests
+
+        with open_store(os.path.join(tmp, "bench.jsonl")) as journal:
+            jcold, jcold_time, jcold_io = sweep(circuit, journal)
+            assert jcold.to_json() == baseline.to_json()
+
+    return {
+        "width": width,
+        "pairs": total_pairs,
+        "regions": regions,
+        "shard_size": shard_size,
+        "bare_time_s": round(bare_time, 4),
+        "cold": {
+            "backend": "sqlite",
+            "time_s": round(cold_time, 4),
+            "puts": cold_io["puts"],
+            "overhead_x": round(cold_time / bare_time, 2),
+        },
+        "warm": {
+            "backend": "sqlite",
+            "time_s": round(warm_time, 4),
+            "hits": warm_io["hits"],
+            "puts": warm_io["puts"],
+            "speedup_vs_cold": round(cold_time / warm_time, 1)
+            if warm_time
+            else None,
+        },
+        "incremental_one_gate_edit": {
+            "edited_region": 3,
+            "time_s": round(inc_time, 4),
+            "puts": inc_io["puts"],
+            "vs_cold_puts_x": round(cold_io["puts"] / inc_io["puts"], 1)
+            if inc_io["puts"]
+            else None,
+        },
+        "journal_cold": {
+            "backend": "journal",
+            "time_s": round(jcold_time, 4),
+            "puts": jcold_io["puts"],
+            "vs_sqlite_cold_x": round(jcold_time / cold_time, 2)
+            if cold_time
+            else None,
+        },
+        "audited_runs": audited_runs,
+        "cold_warm_digests_match": digests[0] == digests[1],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -509,6 +622,7 @@ def main(argv=None) -> int:
         backend_width = 5
         distributed_width, distributed_workers = 6, [1, 2]
         fault_width = 6
+        store_width = 6
     else:
         verify_width, scalar_sample = 8, 4000
         net_width, net_vectors = 8, 1024
@@ -516,6 +630,7 @@ def main(argv=None) -> int:
         backend_width = 8
         distributed_width, distributed_workers = 8, [1, 2, 4]
         fault_width = 8
+        store_width = 8
 
     print(f"== exhaustive 2-sort verification (B={verify_width}) ==")
     exhaustive = bench_exhaustive_verification(verify_width, scalar_sample)
@@ -589,6 +704,28 @@ def main(argv=None) -> int:
         f"{fault['range_leases']['rpc_amortization_x']}x"
     )
 
+    print(f"== verification store (B={store_width}) ==")
+    store = bench_verification_store(store_width)
+    print(
+        f"  cold (sqlite):  {store['cold']['time_s']:>8.4f}s "
+        f"({store['cold']['puts']} puts, "
+        f"{store['cold']['overhead_x']:.2f}x bare)"
+    )
+    print(
+        f"  warm (sqlite):  {store['warm']['time_s']:>8.4f}s "
+        f"({store['warm']['hits']} hits, {store['warm']['puts']} puts, "
+        f"{store['warm']['speedup_vs_cold']}x vs cold)"
+    )
+    inc = store["incremental_one_gate_edit"]
+    print(
+        f"  one-gate edit:  {inc['time_s']:>8.4f}s "
+        f"({inc['puts']} puts, {inc['vs_cold_puts_x']}x fewer than cold)"
+    )
+    print(
+        f"  cold (journal): {store['journal_cold']['time_s']:>8.4f}s "
+        f"({store['journal_cold']['vs_sqlite_cold_x']}x sqlite cold)"
+    )
+
     payload = {
         "benchmark": "scalar interpreter vs compiled two-plane engine",
         "quick": args.quick,
@@ -600,6 +737,7 @@ def main(argv=None) -> int:
         "parallel_verification": parallel,
         "distributed_verification": distributed,
         "fault_tolerance": fault,
+        "verification_store": store,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -618,6 +756,20 @@ def main(argv=None) -> int:
         print(
             f"FAIL: array backend is {array_ratio}x bigint "
             f"(acceptance bound: 2x at B={backend_width})"
+        )
+        return 1
+    if store["warm"]["puts"] != 0:
+        print(
+            f"FAIL: warm store run executed {store['warm']['puts']} shards "
+            "(acceptance bound: 0 -- a warm run must be pure lookup)"
+        )
+        return 1
+    inc_puts = store["incremental_one_gate_edit"]["puts"]
+    if inc_puts * 5 > store["cold"]["puts"]:
+        print(
+            f"FAIL: one-gate edit re-executed {inc_puts} of "
+            f"{store['cold']['puts']} cold shards "
+            "(acceptance bound: at least 5x fewer than cold)"
         )
         return 1
     return 0

@@ -15,7 +15,12 @@ verify --width B    exhaustively verify 2-sort(B) against the closure spec
                     if present (completed shards are never re-run)
        --resume P   resume strictly from an existing journal (exit 2
                     if it does not exist)
-       --json       machine-readable result (counts, failures, timing)
+       --store S    unified result store (memory[:N] / journal:PATH /
+                    sqlite:PATH / bare path): results are keyed per
+                    output-cone region, so edits re-verify
+                    incrementally; each completed sweep is audited
+       --json       machine-readable result (counts, failures, timing,
+                    and the store's hit/miss/put counters)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
 sort g h [...]      sort valid strings with the paper's circuit
      --engine       2-sort engine (fsm default; compiled = batch path)
@@ -40,6 +45,10 @@ submit verify|sort  submit a job to a running service, stream progress
                     direct command would
 status JOB_ID       one job's state/progress as JSON
 cancel JOB_ID       request cooperative cancellation
+store log           print the audit trail of a result store
+      --store S     store spec (as for verify --store)
+      --limit N     newest N records only
+      --json        one JSON object per line
 
 ``verify`` and ``sort`` are thin clients of the same typed request
 dataclasses (:mod:`repro.service.jobs`) the service executes, so a
@@ -159,6 +168,17 @@ def _check_checkpoint_args(args, *, local: bool = True) -> int:
     """
     resume = getattr(args, "resume", None)
     checkpoint = getattr(args, "checkpoint", None)
+    if getattr(args, "store", None) is not None and (
+        resume is not None or checkpoint is not None
+    ):
+        print(
+            "error: --store and --checkpoint/--resume are mutually "
+            "exclusive (a checkpoint *is* the journal store; pass "
+            "--store journal:PATH for the same file, or --store "
+            "sqlite:PATH for the shared backend)",
+            file=sys.stderr,
+        )
+        return 2
     if resume is None:
         return 0
     if checkpoint is not None and checkpoint != resume:
@@ -231,14 +251,19 @@ def _verify_request(args) -> VerifyRequest:
         executor=args.executor,
         backend=args.backend,
         checkpoint=getattr(args, "resume", None) or getattr(args, "checkpoint", None),
+        store=getattr(args, "store", None),
     )
 
 
 def _print_verify_result(
-    width: int, result: VerificationResult, as_json: bool
+    width: int, result: VerificationResult, as_json: bool,
+    store_counters=None,
 ) -> int:
     if as_json:
-        print(result.to_json(indent=2))
+        payload = result.to_dict()
+        if store_counters is not None:
+            payload["store"] = store_counters
+        print(json.dumps(payload, indent=2))
     else:
         print(f"2-sort({width}) vs closure spec: {result.summary()}")
         for failure in result.failures[:5]:
@@ -289,9 +314,33 @@ def _cmd_verify(args) -> int:
         bad = _start_coordinator(args)
         if bad:
             return bad
+    store_counters = None
     start = time.perf_counter()
     try:
-        result = request.run()
+        if request.store is not None:
+            # Opened here (not inside run()) so the handle's hit/miss/
+            # put counters and audit trail are reportable afterwards.
+            import dataclasses
+
+            from .store import open_store
+
+            with open_store(request.store) as store:
+                result = dataclasses.replace(request, store=None).run(
+                    store=store
+                )
+                store_counters = store.counters()
+                # Summary on stderr: stdout stays byte-identical across
+                # cold and warm runs (the determinism contract).
+                print(
+                    f"store {request.store}: {store.hits} hit(s), "
+                    f"{store.misses} miss(es), {store.puts} new "
+                    f"result(s); {len(store.runs() or [])} audited "
+                    f"run(s)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        else:
+            result = request.run()
     finally:
         if args.executor == "distributed":
             # Orderly teardown: workers polling this coordinator get a
@@ -301,7 +350,9 @@ def _cmd_verify(args) -> int:
 
             shutdown_coordinator()
     result.elapsed = time.perf_counter() - start
-    return _print_verify_result(width, result, args.json)
+    return _print_verify_result(
+        width, result, args.json, store_counters=store_counters
+    )
 
 
 def _cmd_export(args) -> int:
@@ -387,11 +438,17 @@ def _cmd_serve(args) -> int:
     async def _serve() -> None:
         import os
 
+        durable = None
+        if args.store is not None:
+            from .store import open_store
+
+            durable = open_store(args.store)
         # --jobs 0 follows the verify convention: one (job slot) per core.
         manager = JobManager(
             jobs=args.jobs or os.cpu_count() or 1,
             cache_size=args.cache_size,
             default_backend=args.backend,
+            store=durable,
         )
         server = ReproServer(manager, host=args.host, port=args.port)
         await server.start()
@@ -406,6 +463,8 @@ def _cmd_serve(args) -> int:
             pass
         finally:
             await server.aclose()
+            if durable is not None:
+                durable.close()
 
     try:
         asyncio.run(_serve())
@@ -562,6 +621,43 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_store_log(args) -> int:
+    """Print a store's audit trail: one line per completed sweep."""
+    from .store import open_store
+
+    if args.limit is not None and args.limit <= 0:
+        print(
+            f"error: --limit must be a positive record count, got "
+            f"{args.limit}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open_store(args.store) as store:
+            runs = store.runs(args.limit)
+    except (OSError, ValueError) as exc:
+        print(f"error: store {args.store!r} -- {exc}", file=sys.stderr)
+        return 2
+    for run in runs or []:
+        if args.json:
+            print(json.dumps(run.to_dict(), sort_keys=True))
+        else:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(run.timestamp)
+            )
+            status = "OK" if run.ok else f"{run.failure_count} FAILURES"
+            print(
+                f"{stamp}  {run.circuit} [{run.circuit_hash}]  B={run.width} "
+                f"backend={run.backend} executor={run.executor} "
+                f"mode={run.mode} shards={run.shards} "
+                f"checked={run.checked} digest={run.result_digest}  "
+                f"{status}  ({run.host}:{run.pid})"
+            )
+    if not runs and not args.json:
+        print("no audited runs on file", file=sys.stderr)
+    return 0
+
+
 def _cmd_status(args) -> int:
     try:
         with _client(args) as client:
@@ -645,6 +741,16 @@ def _add_verify_args(parser) -> None:
         metavar="PATH",
         help="resume strictly from an existing journal (error if PATH "
         "does not exist); implies --checkpoint PATH",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help="unified result store: memory[:N], journal:PATH, "
+        "sqlite:PATH, or a bare path (suffix picks the backend). "
+        "Results are keyed per output-cone region, so re-verifying "
+        "an edited circuit only runs the affected cones; every "
+        "completed sweep appends an audit record (see `store log`)",
     )
     parser.add_argument(
         "--json",
@@ -740,6 +846,14 @@ def main(argv=None) -> int:
         help="also run a shard coordinator here (bare PORT binds all "
         "interfaces), so submitted jobs may use executor \"distributed\"",
     )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help="server-wide durable result store (as for verify --store): "
+        "job results survive restarts and are shared with CLI runs "
+        "against the same path",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -813,6 +927,31 @@ def main(argv=None) -> int:
             help="suppress the progress stream on stderr",
         )
         kp.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("store", help="inspect a verification result store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sl = store_sub.add_parser(
+        "log", help="print the audit trail of completed sweeps"
+    )
+    sl.add_argument(
+        "--store",
+        required=True,
+        metavar="SPEC",
+        help="store spec (as for verify --store)",
+    )
+    sl.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="newest N records only (default: all, oldest first)",
+    )
+    sl.add_argument(
+        "--json",
+        action="store_true",
+        help="one JSON object per audit record",
+    )
+    sl.set_defaults(fn=_cmd_store_log)
 
     p = sub.add_parser("status", help="show one job's state and progress")
     p.add_argument("job_id")

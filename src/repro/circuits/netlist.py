@@ -204,6 +204,136 @@ class Circuit:
         self._hash_cache = (self._version, digest)
         return digest
 
+    # ------------------------------------------------------------------
+    # Per-region (output-cone) structure
+    # ------------------------------------------------------------------
+    def _cone(self, output_index: int) -> Tuple[List[Gate], Dict[NetId, Trit]]:
+        """Gates and constants feeding primary output ``output_index``.
+
+        Backward reachability over the driver map from the output's
+        root net; gates come back in insertion order so two circuits
+        built the same way produce identical cones.
+        """
+        if not 0 <= output_index < len(self._outputs):
+            raise CircuitError(
+                f"output index {output_index} out of range "
+                f"(circuit has {len(self._outputs)} outputs)"
+            )
+        root = self._outputs[output_index]
+        seen: set = set()
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self._driver.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        cone_gates = [g for g in self._gates if g.output in seen]
+        cone_consts = {
+            net: v for net, v in self._const_nets.items() if net in seen
+        }
+        return cone_gates, cone_consts
+
+    def region_hashes(self) -> Tuple[str, ...]:
+        """One structural digest per primary output's fan-in cone.
+
+        A region is everything that determines one output: the primary
+        inputs (all of them, in order -- lane semantics depend on input
+        positions), the constants and gates reachable backward from the
+        output, and the output's root net.  Hashed with the same
+        length-prefixed scheme as :meth:`content_hash`, so a structural
+        edit changes exactly the digests of the outputs whose cones
+        contain the edited gate.  That is what makes per-region result
+        keys incremental: re-verification after an edit only misses on
+        the affected cones.  Cached per :attr:`version`.
+        """
+        cached = getattr(self, "_region_hash_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        digests = []
+        for idx in range(len(self._outputs)):
+            cone_gates, cone_consts = self._cone(idx)
+            h = hashlib.sha256()
+
+            def feed(tag: bytes, *parts: str) -> None:
+                h.update(tag)
+                for part in parts:
+                    data = part.encode()
+                    h.update(len(data).to_bytes(4, "little"))
+                    h.update(data)
+
+            for net in self._inputs:
+                feed(b"i", net)
+            for net, value in sorted(cone_consts.items()):
+                feed(b"c", net, value.to_char())
+            for gate in cone_gates:
+                feed(b"g", gate.kind.name, str(len(gate.inputs)),
+                     *gate.inputs)
+                feed(b">", gate.output)
+            feed(b"o", self._outputs[idx])
+            digests.append(h.hexdigest()[:16])
+        result = tuple(digests)
+        self._region_hash_cache = (self._version, result)
+        return result
+
+    def extract_cone(self, output_index: int) -> "Circuit":
+        """A standalone circuit computing just one primary output.
+
+        The extracted circuit keeps *all* primary inputs in their
+        original order (so input-lane encodings line up with the parent
+        sweep), the cone's constants and gates under their original net
+        names, and exposes a single output: the requested one.  Used by
+        the region sweep to verify one output cone at a time.
+        """
+        cone_gates, cone_consts = self._cone(output_index)
+        sub = Circuit(name=f"{self.name}#o{output_index}")
+        for net in self._inputs:
+            sub.add_input(net=net)
+        # Copy constants under their original names: Circuit.const()
+        # would mint fresh names, breaking gate input references.
+        # Direct private access is why this lives in netlist.py.
+        for net, value in cone_consts.items():
+            sub._const_nets[net] = value
+            sub._version += 1
+        for gate in cone_gates:
+            sub.add_gate(gate.kind, gate.inputs, output=gate.output)
+        sub.add_output(self._outputs[output_index])
+        return sub
+
+    def copy(self) -> "Circuit":
+        """A structurally identical, name-preserving, independent copy.
+
+        All net names are kept verbatim (the copy hashes identically to
+        the original), so the copy is the right starting point for a
+        controlled structural edit -- e.g. the incremental
+        re-verification demo splices gates into one output cone of a
+        copy and checks that only that region's digest changes.
+        """
+        dup = Circuit(name=self.name)
+        for net in self._inputs:
+            dup.add_input(net=net)
+        for net, value in self._const_nets.items():
+            dup._const_nets[net] = value
+            dup._version += 1
+        for gate in self._gates:
+            dup.add_gate(gate.kind, gate.inputs, output=gate.output)
+        for net in self._outputs:
+            dup.add_output(net)
+        return dup
+
+    def replace_output(self, index: int, net: NetId) -> None:
+        """Re-point primary output ``index`` at a different net."""
+        if not 0 <= index < len(self._outputs):
+            raise CircuitError(
+                f"output index {index} out of range "
+                f"(circuit has {len(self._outputs)} outputs)"
+            )
+        self._outputs[index] = net
+        self._topo_cache = None
+        self._version += 1
+
     @property
     def outputs(self) -> Tuple[NetId, ...]:
         return tuple(self._outputs)

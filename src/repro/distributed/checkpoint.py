@@ -1,264 +1,45 @@
-"""Durable sweep checkpoints: an append-only JSON-lines shard journal.
+"""Back-compat aliases: checkpoints are now the ``journal`` store.
 
-A coordinator that dies mid-sweep (SIGKILL, OOM, power) used to lose
-every completed shard.  :class:`SweepCheckpoint` makes sweeps
-restart-safe by journaling each *released* shard result to disk as one
-JSON line, keyed on the same content-addressed tuple the in-memory
-:class:`repro.service.cache.ShardCache` uses::
-
-    (circuit.name, circuit.content_hash(), backend_name, width, g_lo, g_hi)
-
-Because the journal speaks the cache's ``get``/``put`` protocol, resume
-needs no new machinery: pass a checkpoint as the ``cache=`` of
+PR 6's durable sweep checkpoint lives on as
+:class:`repro.store.journal.JournalStore` behind the unified
+:class:`~repro.store.base.ResultStore` protocol, and the ad-hoc
+``StackedCache`` glue is the general
+:class:`repro.store.stacked.StackedStore` combinator.  This module
+keeps the historical names and constructor signatures so existing
+imports and journals keep working unchanged: same record format, same
+first-write-wins/torn-line semantics, same resume story (pass a
+checkpoint as the ``cache=`` of
 :func:`repro.verify.parallel.verify_two_sort_sharded` and journaled
-shards are skipped (reported first, in ascending shard order) while
-only the unfinished remainder is dispatched.  The merged report is
-byte-identical to an uninterrupted run -- merge order is shard order
-either way, and results round-trip through pure JSON (no pickles on
-disk, so a journal is safe to inspect and to accept from another host).
-
-Record format, one JSON object per line::
-
-    {"type": "epoch", "fingerprint": "...", "epoch": {...},
-     "shards": N, "shard_size": S}
-    {"type": "result", "key": [name, hash, backend, width, g_lo, g_hi],
-     "result": {"checked": ..., "failure_count": ..., "failures": [...],
-                "truncated": ...}}
-
-Crash tolerance: writes are flushed (and by default fsynced) per
-record, and the loader tolerates a torn trailing line -- the partial
-record a SIGKILL mid-write leaves behind is counted and dropped, never
-fatal.  Duplicate keys keep the first record (first-write-wins,
-matching the coordinator's result accounting), so replaying a journal
-is idempotent.
+shards are skipped while only the unfinished remainder is dispatched).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional
 
-from ..verify.exhaustive import SweepEpoch, VerificationResult
+from ..store.journal import JournalStore
+from ..store.stacked import StackedStore
 
 __all__ = ["StackedCache", "SweepCheckpoint"]
 
 
-def _result_to_record(result: VerificationResult) -> Dict[str, Any]:
-    """Exact JSON form of a shard result (no derived fields)."""
-    out: Dict[str, Any] = {
-        "checked": result.checked,
-        "failure_count": result.failure_count,
-        "failures": list(result.failures),
-        "truncated": result.truncated,
-    }
-    if result.elapsed is not None:
-        out["elapsed"] = result.elapsed
-    return out
-
-
-def _result_from_record(data: Dict[str, Any]) -> VerificationResult:
-    return VerificationResult(
-        checked=int(data["checked"]),
-        failure_count=int(data["failure_count"]),
-        failures=[str(m) for m in data["failures"]],
-        truncated=bool(data["truncated"]),
-        elapsed=data.get("elapsed"),
-    )
-
-
-class SweepCheckpoint:
-    """Append-only shard-result journal with the cache protocol.
-
-    ``get``/``put`` make it a drop-in ``cache=`` for
-    :func:`~repro.verify.parallel.verify_two_sort_sharded`;
-    ``record_epoch`` (called by the sweep when present on the cache)
-    journals the :class:`~repro.verify.exhaustive.SweepEpoch` descriptor
-    so a journal is self-describing -- ``--resume`` can print what sweep
-    it belongs to, and an audit can match journal to circuit by content
-    hash alone.
-
-    ``fsync=True`` (the default) makes every record durable against
-    power loss before ``put`` returns; pass ``False`` to trade that for
-    speed when only process death matters.  Thread-safe: the service
-    layer shares one checkpoint across its sweep threads.
-    """
+class SweepCheckpoint(JournalStore):
+    """The PR-6 name for the ``journal`` result-store backend."""
 
     def __init__(self, path: str, fsync: bool = True):
-        self.path = path
-        self.fsync = fsync
-        self._lock = threading.RLock()
-        self._results: Dict[Tuple, VerificationResult] = {}
-        self._epochs: Dict[str, Dict[str, Any]] = {}
-        self.hits = 0
-        self.misses = 0
-        #: Records dropped on load: torn/corrupt lines and duplicate keys.
-        self.torn = 0
-        self.duplicates = 0
-        self._load()
-        self._fh = open(self.path, "ab")
-
-    # -- journal I/O ---------------------------------------------------
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "rb") as fh:
-            for raw in fh:
-                line = raw.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    self._ingest(record)
-                except (ValueError, KeyError, TypeError):
-                    # A torn record (the line a SIGKILL mid-write left
-                    # behind) or stray corruption: drop it -- the shard
-                    # is simply treated as not done and re-executed.
-                    self.torn += 1
-
-    def _ingest(self, record: Dict[str, Any]) -> None:
-        kind = record["type"]
-        if kind == "result":
-            key = tuple(record["key"])
-            if key in self._results:
-                self.duplicates += 1
-                return  # first write wins, like the coordinator
-            self._results[key] = _result_from_record(record["result"])
-        elif kind == "epoch":
-            self._epochs.setdefault(str(record["fingerprint"]), record)
-        # Unknown record types are ignored: forward compatibility.
-
-    def _append(self, record: Dict[str, Any]) -> None:
-        data = json.dumps(record, separators=(",", ":")).encode("utf-8")
-        self._fh.write(data + b"\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-
-    # -- the cache protocol --------------------------------------------
-    def get(self, key: Tuple) -> Optional[VerificationResult]:
-        with self._lock:
-            hit = self._results.get(tuple(key))
-            if hit is None:
-                self.misses += 1
-                return None
-            self.hits += 1
-            return hit
-
-    def put(self, key: Tuple, result: VerificationResult) -> None:
-        key = tuple(key)
-        with self._lock:
-            if key in self._results:
-                return  # already durable; keep the journal append-only
-            self._results[key] = result
-            self._append(
-                {
-                    "type": "result",
-                    "key": list(key),
-                    "result": _result_to_record(result),
-                }
-            )
-
-    def record_epoch(
-        self,
-        epoch: SweepEpoch,
-        shards: Optional[int] = None,
-        shard_size: Optional[int] = None,
-    ) -> None:
-        """Journal the sweep descriptor (once per distinct epoch)."""
-        fp = epoch.fingerprint()
-        with self._lock:
-            if fp in self._epochs:
-                return
-            record: Dict[str, Any] = {
-                "type": "epoch",
-                "fingerprint": fp,
-                "epoch": epoch.to_dict(),
-            }
-            if shards is not None:
-                record["shards"] = shards
-            if shard_size is not None:
-                record["shard_size"] = shard_size
-            self._epochs[fp] = record
-            self._append(record)
-
-    # -- introspection -------------------------------------------------
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._results)
-
-    def keys(self) -> List[Tuple]:
-        with self._lock:
-            return list(self._results)
-
-    def epochs(self) -> List[SweepEpoch]:
-        with self._lock:
-            return [
-                SweepEpoch.from_dict(rec["epoch"])
-                for rec in self._epochs.values()
-            ]
-
-    def stats(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "path": self.path,
-                "results": len(self._results),
-                "epochs": len(self._epochs),
-                "hits": self.hits,
-                "misses": self.misses,
-                "torn": self.torn,
-                "duplicates": self.duplicates,
-            }
-
-    def close(self) -> None:
-        with self._lock:
-            if not self._fh.closed:
-                self._fh.flush()
-                if self.fsync:
-                    os.fsync(self._fh.fileno())
-                self._fh.close()
-
-    def __enter__(self) -> "SweepCheckpoint":
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self.close()
+        super().__init__(path, fsync=fsync)
 
 
-class StackedCache:
+class StackedCache(StackedStore):
     """A durable journal in front of an optional in-memory cache.
 
-    The service layer keeps a process-wide LRU
-    (:class:`repro.service.cache.ShardCache`); a checkpointed job wants
-    *both* -- memory speed on repeat sweeps, durability across process
-    death.  Lookups try the journal first (it is ground truth across
-    restarts); a memory-only hit is backfilled into the journal so the
-    durable record converges on everything the process knows.  Writes
-    go to both layers.
+    The historical two-layer form of :class:`StackedStore`: lookups
+    try the journal first (it is ground truth across restarts), a
+    memory-only hit is backfilled into the journal, and writes go to
+    both layers.
     """
 
     def __init__(self, journal: SweepCheckpoint, memory: Optional[Any] = None):
+        super().__init__(journal, memory)
         self.journal = journal
         self.memory = memory
-
-    def get(self, key: Tuple) -> Optional[Any]:
-        hit = self.journal.get(key)
-        if hit is not None:
-            if self.memory is not None:
-                self.memory.put(key, hit)
-            return hit
-        if self.memory is not None:
-            hit = self.memory.get(key)
-            if hit is not None:
-                self.journal.put(key, hit)
-            return hit
-        return None
-
-    def put(self, key: Tuple, value: Any) -> None:
-        self.journal.put(key, value)
-        if self.memory is not None:
-            self.memory.put(key, value)
-
-    def record_epoch(self, epoch: SweepEpoch, **kwargs: Any) -> None:
-        self.journal.record_epoch(epoch, **kwargs)

@@ -20,6 +20,16 @@ the coordinator's -- a mismatch refuses the batch rather than merging
 wrong results), and compiled exactly once per epoch, no matter how
 many shards of that sweep it executes or how batches interleave.
 
+**Result stores.**  When the coordinator's sweep runs against a
+shareable :class:`~repro.store.base.ResultStore` (``verify --store
+sqlite:PATH``), the store's *spec* rides the epoch's initargs exactly
+like the backend name: the worker-side initializer opens its own
+handle (:func:`repro.store.shared_store`) and the region task worker
+consults the store -- get, then claim -- *before executing* a leased
+range, so a range whose results already exist (from a previous run,
+another worker, or another host on a shared path) completes without
+any plane work, and two workers racing one key never double-execute.
+
 **Liveness.**  A daemon thread heartbeats at the interval the
 coordinator announces, refreshing this worker's leases; every reply
 wait is bounded (:class:`~repro.distributed.wire.ChannelTimeout`), so

@@ -1,90 +1,25 @@
-"""In-process LRU cache of per-shard verification results.
+"""Back-compat alias: the LRU shard cache is now the ``memory`` store.
 
-The ROADMAP's incremental-verification item in its minimal form: a
-re-verification of an unedited netlist should not redo work it already
-did.  Shards are pure functions of ``(circuit.name,
-circuit.content_hash(), backend.name, width, g_lo, g_hi)`` -- the
-content hash (:meth:`~repro.circuits.netlist.Circuit.content_hash`)
-digests the netlist *structure*, so an edited netlist misses on every
-shard, an untouched or identically rebuilt one hits on all of them,
-and -- unlike the old in-process ``version`` counter -- two different
-circuits that happen to share a name and mutation count can never
-collide.  Content keys are also stable across processes and hosts,
-which is what lets the distributed path
-(:mod:`repro.distributed`) consult the same cache safely.  The cache
-is consulted by :func:`repro.verify.parallel.verify_two_sort_sharded`
-(duck-typed: anything with ``get``/``put``) and owned by the service
-layer's :class:`~repro.service.jobs.JobManager`, which surfaces the
-hit/miss counters to clients.
-
-Thread-safe: job bodies run on a thread pool, and two concurrent
-verify jobs for the same circuit may read and write the same keys.
+PR 4's in-process LRU lives on as
+:class:`repro.store.memory.MemoryStore` behind the unified
+:class:`~repro.store.base.ResultStore` protocol; this module keeps the
+historical name and constructor signature so existing imports
+(``from repro.service.cache import ShardCache``) keep working.  Shard
+keys are unchanged: ``(circuit.name, circuit.content_hash(),
+backend.name, width, g_lo, g_hi)`` -- content-addressed, so they are
+stable across processes and hosts and shared with every other store
+backend.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from ..store.memory import MemoryStore
 
 __all__ = ["ShardCache"]
 
 
-class ShardCache:
-    """A bounded LRU map with hit/miss accounting.
-
-    ``maxsize`` counts *entries* (one per shard); at the default shard
-    sizing a full B=13 sweep is ~2.6k shards, so the default of 8192
-    holds a few full widths.  ``maxsize <= 0`` disables storage (every
-    ``get`` is a miss, ``put`` is a no-op) -- the switch for callers
-    that must never serve a stale-circuit result even in theory.
-    """
+class ShardCache(MemoryStore):
+    """The PR-4 name for the ``memory`` result-store backend."""
 
     def __init__(self, maxsize: int = 8192):
-        self.maxsize = maxsize
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        if self.maxsize <= 0:
-            return
-        with self._lock:
-            # Re-putting a present key replaces the value in place and
-            # refreshes its recency; it must never count as a second
-            # entry toward maxsize (pinned by a regression test -- the
-            # distributed path re-puts keys whenever an expired lease
-            # is re-run).
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "entries": len(self._data),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-            }
+        super().__init__(maxsize=maxsize)

@@ -122,6 +122,14 @@ class VerifyRequest:
     *executing* host: shards already journaled there are skipped, fresh
     ones are appended as they complete, so a killed job resubmitted
     with the same checkpoint resumes instead of restarting.
+
+    ``store`` names a unified result store (a
+    :func:`repro.store.open_store` spec, e.g. ``sqlite:results.db``) on
+    the executing host.  Unlike a checkpoint it keys results per
+    output-cone *region*, so re-verifying after a circuit edit only
+    executes the shards of the cones the edit touched, and every
+    completed sweep appends an audit record.  Mutually exclusive with
+    ``checkpoint`` (the journal alias of the same machinery).
     """
 
     width: int
@@ -130,6 +138,7 @@ class VerifyRequest:
     executor: Optional[str] = None
     backend: Optional[str] = None
     checkpoint: Optional[str] = None
+    store: Optional[str] = None
 
     kind: ClassVar[str] = "verify"
 
@@ -146,6 +155,15 @@ class VerifyRequest:
             raise ValueError(
                 "checkpoint must be a non-empty journal path"
             )
+        if self.store is not None and (
+            not isinstance(self.store, str) or not self.store
+        ):
+            raise ValueError("store must be a non-empty store spec")
+        if self.store is not None and self.checkpoint is not None:
+            raise ValueError(
+                "checkpoint and store are mutually exclusive "
+                "(a checkpoint is the journal store; pass one or the other)"
+            )
         _validate_sharding(self.jobs, self.shard_size, self.executor, self.backend)
 
     def describe(self) -> str:
@@ -155,7 +173,7 @@ class VerifyRequest:
         out: Dict[str, Any] = {"kind": self.kind, "width": self.width}
         if self.jobs != 1:
             out["jobs"] = self.jobs
-        for name in ("shard_size", "executor", "backend", "checkpoint"):
+        for name in ("shard_size", "executor", "backend", "checkpoint", "store"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -166,11 +184,26 @@ class VerifyRequest:
         on_shard: Optional[OnShard] = None,
         should_stop: Optional[ShouldStop] = None,
         cache: Optional[ShardCache] = None,
+        store: Optional[Any] = None,
     ) -> VerificationResult:
-        """The single synchronous code path (CLI, service, and tests)."""
+        """The single synchronous code path (CLI, service, and tests).
+
+        ``store`` is an already-open :class:`repro.store.base.ResultStore`
+        handle (the CLI opens ``--store`` itself so it can report the
+        handle's counters afterwards); when it is None but the request
+        carries a ``store`` spec, the store is opened -- and closed --
+        here.  A caller-provided ``cache`` (the server-wide memory
+        store) is layered behind the per-request store so jobs on one
+        server still share warm results.
+        """
         self.validate()
         circuit = build_two_sort(self.width)
+        opened = None
         journal = None
+        if store is None and self.store is not None:
+            from ..store import open_store
+
+            store = opened = open_store(self.store)
         if self.checkpoint is not None:
             # Imported lazily: the checkpoint layer must not make every
             # service import pay for repro.distributed.
@@ -180,6 +213,11 @@ class VerifyRequest:
             cache = (
                 StackedCache(journal, cache) if cache is not None else journal
             )
+        if store is not None and cache is not None:
+            from ..store import StackedStore
+
+            store = StackedStore(store, cache)
+            cache = None
         try:
             return verify_two_sort_sharded(
                 circuit,
@@ -191,10 +229,13 @@ class VerifyRequest:
                 on_shard=on_shard,
                 should_stop=should_stop,
                 cache=cache,
+                store=store,
             )
         finally:
             if journal is not None:
                 journal.close()
+            if opened is not None:
+                opened.close()
 
     def result_to_dict(self, result: VerificationResult) -> Dict[str, Any]:
         return result.to_dict()
@@ -448,6 +489,7 @@ class JobManager:
         cache_size: int = 8192,
         default_backend: Optional[str] = None,
         keep_finished: int = 256,
+        store: Optional[Any] = None,
     ):
         self.max_jobs = max(1, jobs)
         self.default_backend = default_backend
@@ -455,7 +497,21 @@ class JobManager:
         #: this the oldest are evicted so a long-lived server doesn't
         #: accumulate every result and event history forever.
         self.keep_finished = max(1, keep_finished)
-        self.cache = ShardCache(maxsize=cache_size)
+        #: The server-wide result store every job consults.  By default
+        #: an in-process LRU; with ``store`` (an open
+        #: :class:`~repro.store.base.ResultStore`, e.g. ``serve
+        #: --store``) a durable backend fronted by that LRU, so results
+        #: survive restarts and are shared with CLI runs against the
+        #: same path.  ``cache`` is the historical alias for the same
+        #: object.
+        memory = ShardCache(maxsize=cache_size)
+        if store is not None:
+            from ..store import StackedStore
+
+            self.store: Any = StackedStore(store, memory)
+        else:
+            self.store = memory
+        self.cache = self.store
         self._jobs: Dict[str, Job] = {}
         self._sem = asyncio.Semaphore(self.max_jobs)
         self._pool = ThreadPoolExecutor(
@@ -481,6 +537,12 @@ class JobManager:
             "jobs": by_state,
             "max_jobs": self.max_jobs,
             "cache": self.cache.stats(),
+            # The uniform observability block (same shape as the CLI's
+            # `verify --json` store section), including audit counters.
+            "store": dict(
+                self.store.counters(),
+                runs=len(self.store.runs() or []),
+            ),
         }
 
     # -- submission / lookup -------------------------------------------

@@ -366,6 +366,46 @@ def verify_two_sort_shard(
     return result
 
 
+def verify_two_sort_region_shard(
+    program, width: int, output_index: int, g_lo: int, g_hi: int
+) -> Dict[str, int]:
+    """Verify one output cone over one g-row shard.
+
+    ``program`` is the compiled *cone extraction* of output
+    ``output_index`` (see :meth:`Circuit.extract_cone`): all ``2*width``
+    primary inputs in their original order, a single output.  The
+    expected planes are the one bit of the Table 2 order max
+    (``output_index < width``, bit ``output_index``) or order min
+    (bit ``output_index - width``) this cone computes.  Returns a plain
+    JSON value -- ``{"lanes": L, "mismatches": N}`` -- because a region
+    shard is a store entry, not a user-facing report: the region sweep
+    aggregates these and, only when a cone actually mismatches, re-runs
+    the canonical full-circuit shard to produce the usual
+    :class:`VerificationResult` failure messages byte-for-byte.
+    """
+    be: PlaneBackend = program.backend
+    int_planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
+    native = [
+        (be.from_int(a0, lanes), be.from_int(a1, lanes))
+        for a0, a1 in int_planes
+    ]
+    p0, p1 = program.run_planes(native, lanes)
+    sel = be.from_int(_select_mask(width, g_lo, g_hi), lanes)
+    nsel = be.bnot(sel, lanes)
+    g_planes = native[:width]
+    h_planes = native[width:]
+
+    if output_index < width:  # a max bit: g where sel, else h
+        a, c, b = g_planes, h_planes, output_index
+    else:  # a min bit: the complementary selection
+        a, c, b = h_planes, g_planes, output_index - width
+    e0 = be.bor(be.band(sel, a[b][0]), be.band(nsel, c[b][0]))
+    e1 = be.bor(be.band(sel, a[b][1]), be.band(nsel, c[b][1]))
+    slot = program.output_slots[0]
+    diff = be.bor(be.bxor(p0[slot], e0), be.bxor(p1[slot], e1))
+    return {"lanes": lanes, "mismatches": be.popcount(diff)}
+
+
 def verify_two_sort_circuit(
     circuit: Circuit, width: int, backend: BackendLike = None
 ) -> VerificationResult:

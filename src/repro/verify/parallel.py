@@ -48,18 +48,23 @@ from __future__ import annotations
 import inspect
 import multiprocessing
 import os
+import socket
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..backends import PlaneBackend, get_backend, use_backend
 from ..circuits.compiled import BackendLike, compile_circuit
 from ..circuits.netlist import Circuit
+from ..store import shared_store
+from ..store.base import RunRecord, result_digest, wait_for
 from .exhaustive import (
     _MAX_SHARD_LANES,
     SweepEpoch,
     VerificationResult,
     check_two_sort_shape,
     pair_shards,
+    verify_two_sort_region_shard,
     verify_two_sort_shard,
 )
 
@@ -415,16 +420,84 @@ _VERIFY_STATE = threading.local()
 
 
 def _init_verify_worker(
-    circuit: Circuit, backend: BackendLike = None
+    circuit: Circuit, backend: BackendLike = None,
+    store_spec: Optional[str] = None,
 ) -> None:
     # `backend` arrives as a registry name (or None for the executor /
-    # process default) so the initargs stay picklable for pool workers.
+    # process default) and `store_spec` as a store spec string (or None
+    # when the sweep's store is not shareable) so the initargs stay
+    # picklable for pool *and remote* workers.
     _VERIFY_STATE.program = compile_circuit(circuit, get_backend(backend))
+    _VERIFY_STATE.circuit = circuit
+    _VERIFY_STATE.backend = backend
+    _VERIFY_STATE.backend_name = get_backend(backend).name
+    _VERIFY_STATE.region_programs = {}
+    _VERIFY_STATE.store = shared_store(store_spec) if store_spec else None
 
 
 def _verify_shard_worker(task: Tuple[int, int, int]) -> VerificationResult:
     width, g_lo, g_hi = task
     return verify_two_sort_shard(_VERIFY_STATE.program, width, g_lo, g_hi)
+
+
+def _region_key(
+    circuit_name: str, region_hash: str, backend_name: str,
+    width: int, output_index: int, g_lo: int, g_hi: int,
+) -> Tuple:
+    """Store key for one output cone over one g-row range.
+
+    Keyed on the *region* digest, not the whole-circuit content hash:
+    an edit invalidates exactly the keys of the cones it touches, which
+    is what makes re-verification after an edit incremental.  The
+    ``"r"`` marker keeps region keys disjoint from the historical
+    circuit-granularity shard keys in shared stores.
+    """
+    return (
+        circuit_name, region_hash, backend_name, width, "r",
+        output_index, g_lo, g_hi,
+    )
+
+
+def _execute_region_shard(task: Tuple[int, int, int, int]) -> Dict[str, int]:
+    """Compute one region shard from per-worker state (no store consult).
+
+    Module-level (not a closure) so tests can monkeypatch it to count
+    actual executions -- the seam that pins "a warm store re-executes
+    nothing" and "an edit re-executes only the affected cones".
+    """
+    width, output_index, g_lo, g_hi = task
+    state = _VERIFY_STATE
+    program = state.region_programs.get(output_index)
+    if program is None:
+        program = state.region_programs[output_index] = compile_circuit(
+            state.circuit.extract_cone(output_index),
+            get_backend(state.backend),
+        )
+    return verify_two_sort_region_shard(
+        program, width, output_index, g_lo, g_hi
+    )
+
+
+def _verify_region_worker(task: Tuple[int, int, int, int]) -> Dict[str, int]:
+    """Worker for region tasks: consult the shared store, then compute.
+
+    When the sweep's store is shareable its spec rides the pool
+    initargs, and each worker holds its own handle: a get-hit skips the
+    execution entirely, and :func:`repro.store.base.wait_for` claims
+    the key first so two processes sweeping the same circuit against
+    one store never double-execute a region shard.
+    """
+    state = _VERIFY_STATE
+    store = getattr(state, "store", None)
+    if store is None:
+        return _execute_region_shard(task)
+    width, output_index, g_lo, g_hi = task
+    key = _region_key(
+        state.circuit.name,
+        state.circuit.region_hashes()[output_index],
+        state.backend_name, width, output_index, g_lo, g_hi,
+    )
+    return wait_for(store, key, lambda: _execute_region_shard(task))
 
 
 def _default_pair_shard_size(
@@ -478,6 +551,8 @@ def verify_two_sort_sharded(
     on_shard: Optional[OnShard] = None,
     should_stop: Optional[ShouldStop] = None,
     cache: Optional[Any] = None,
+    store: Optional[Any] = None,
+    regions: Optional[bool] = None,
 ) -> VerificationResult:
     """Exhaustively verify a 2-sort circuit with sharded execution.
 
@@ -509,7 +584,26 @@ def verify_two_sort_sharded(
       different circuits can never collide the way an in-process
       mutation counter could.  Hits skip the worker entirely but still
       count toward progress, and fresh results are inserted as they
-      complete (so even a cancelled run warms the cache).
+      complete (so even a cancelled run warms the cache);
+    * ``store`` is a :class:`repro.store.base.ResultStore`: same role
+      as ``cache`` (either name works; ``store`` wins when both are
+      given) but it flips the sweep into **region granularity** --
+      every primary-output cone is verified independently per g-row
+      range, keyed on the cone's *region* digest
+      (:meth:`Circuit.region_hashes`) instead of the whole-circuit
+      hash.  A one-gate edit then re-executes only the shards of the
+      cones it touched; untouched cones hit the store.  ``regions``
+      overrides the granularity explicitly (``store`` alone implies
+      ``True``).  Shareable stores (sqlite) additionally ship their
+      spec to workers, which consult the store *before executing* --
+      the no-double-execute mechanism across processes and hosts.
+      Clean ranges merge into the report as synthetic all-clear counts;
+      a range whose cone mismatches is re-verified at circuit
+      granularity through the canonical
+      :func:`~repro.verify.exhaustive.verify_two_sort_shard`, so the
+      merged report is byte-identical to an uncached sweep.  Every
+      completed (non-plain) sweep appends a
+      :class:`~repro.store.base.RunRecord` audit row to the store.
     """
     check_two_sort_shape(circuit, width)
     jobs = default_jobs() if not jobs else max(1, jobs)
@@ -538,7 +632,10 @@ def verify_two_sort_sharded(
         width=width,
         backend=backend,
     )
-    plain = on_shard is None and should_stop is None and cache is None
+    plain = (
+        on_shard is None and should_stop is None
+        and cache is None and store is None and not regions
+    )
     if plain:
         # The zero-overhead path: bit-for-bit the pre-service behaviour.
         tasks = [(width, g_lo, g_hi) for g_lo, g_hi in shards]
@@ -555,11 +652,65 @@ def verify_two_sort_sharded(
 
     backend_name = get_backend(effective_backend).name
     circuit_hash = epoch.circuit_hash
-    # Caches that journal sweeps (SweepCheckpoint) take the epoch
+    # `store` and `cache` are one seam with two granularities: `store`
+    # wins when both are given, and by default switches the sweep to
+    # per-region keys.
+    handle = store if store is not None else cache
+    region_mode = regions if regions is not None else store is not None
+    # Stores that journal sweeps (the journal backend) take the epoch
     # descriptor up front, so the journal is self-describing even if
     # the run dies before any shard completes.
-    if cache is not None and hasattr(cache, "record_epoch"):
-        cache.record_epoch(epoch, shards=total, shard_size=shard_size)
+    if handle is not None and hasattr(handle, "record_epoch"):
+        handle.record_epoch(epoch, shards=total, shard_size=shard_size)
+
+    if region_mode:
+        merged = _run_region_sweep(
+            circuit, width, shards, jobs, executor, backend, backend_name,
+            circuit_hash, effective_backend, handle, on_shard, should_stop,
+            epoch,
+        )
+    else:
+        merged = _run_circuit_sweep(
+            circuit, width, shards, jobs, executor, backend, backend_name,
+            circuit_hash, handle, on_shard, should_stop, epoch,
+        )
+
+    if handle is not None and hasattr(handle, "record_run"):
+        handle.record_run(RunRecord(
+            circuit=circuit.name,
+            circuit_hash=circuit_hash,
+            backend=backend_name,
+            executor=executor or ("process" if jobs > 1 else "serial"),
+            width=width,
+            shards=total,
+            checked=merged.checked,
+            failure_count=merged.failure_count,
+            ok=merged.failure_count == 0,
+            result_digest=result_digest(merged),
+            mode="regions" if region_mode else "shards",
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            timestamp=time.time(),
+        ))
+    return merged
+
+
+def _run_circuit_sweep(
+    circuit: Circuit,
+    width: int,
+    shards: List[Tuple[int, int]],
+    jobs: int,
+    executor: Optional[str],
+    backend: BackendLike,
+    backend_name: str,
+    circuit_hash: str,
+    cache: Optional[Any],
+    on_shard: Optional[OnShard],
+    should_stop: Optional[ShouldStop],
+    epoch: SweepEpoch,
+) -> VerificationResult:
+    """Circuit-granularity sweep: one key per whole-circuit shard."""
+    total = len(shards)
 
     def shard_key(index: int) -> Tuple:
         g_lo, g_hi = shards[index]
@@ -608,6 +759,140 @@ def verify_two_sort_sharded(
             executor=executor,
             initializer=_init_verify_worker,
             initargs=(circuit, backend),
+            on_result=_record,
+            should_stop=should_stop,
+            epoch=epoch,
+        )
+    return VerificationResult.merge(results)
+
+
+def _run_region_sweep(
+    circuit: Circuit,
+    width: int,
+    shards: List[Tuple[int, int]],
+    jobs: int,
+    executor: Optional[str],
+    backend: BackendLike,
+    backend_name: str,
+    circuit_hash: str,
+    effective_backend: BackendLike,
+    store: Optional[Any],
+    on_shard: Optional[OnShard],
+    should_stop: Optional[ShouldStop],
+    epoch: SweepEpoch,
+) -> VerificationResult:
+    """Region-granularity sweep: one key per output cone per g-range.
+
+    Every primary-output cone is verified independently over every
+    g-row range; the store is consulted per ``(cone, range)`` so an
+    edit only misses on the cones whose region digest changed.  Clean
+    ranges (every cone matches everywhere) merge as synthetic all-clear
+    counts; a range with any cone mismatch is re-verified through the
+    canonical full-circuit shard (cached at circuit granularity), so
+    failure messages -- and therefore the merged report -- stay
+    byte-identical to an uncached sweep.
+    """
+    total = len(shards)
+    region_hashes = circuit.region_hashes()
+    n_out = len(region_hashes)
+    S = (1 << (width + 1)) - 1
+
+    region_results: List[List[Optional[Dict[str, int]]]] = [
+        [None] * n_out for _ in range(total)
+    ]
+    pending: List[Tuple[int, int]] = []
+    for i in range(total):
+        g_lo, g_hi = shards[i]
+        for o in range(n_out):
+            key = _region_key(
+                circuit.name, region_hashes[o], backend_name, width,
+                o, g_lo, g_hi,
+            )
+            hit = store.get(key) if store is not None else None
+            if hit is not None:
+                region_results[i][o] = hit
+            else:
+                pending.append((i, o))
+
+    full_program = None
+
+    def _resolve(i: int) -> VerificationResult:
+        """Collapse one range's per-cone outcomes into a shard result."""
+        nonlocal full_program
+        g_lo, g_hi = shards[i]
+        if all(v["mismatches"] == 0 for v in region_results[i]):
+            return VerificationResult(checked=(g_hi - g_lo) * S)
+        # A cone mismatched somewhere in this range: produce the
+        # canonical per-pair failure messages via the full-circuit
+        # shard (stored under the historical circuit-granularity key).
+        ckey = (circuit.name, circuit_hash, backend_name, width, g_lo, g_hi)
+        hit = store.get(ckey) if store is not None else None
+        if hit is not None:
+            return hit
+        if full_program is None:
+            full_program = compile_circuit(
+                circuit, get_backend(effective_backend)
+            )
+        result = verify_two_sort_shard(full_program, width, g_lo, g_hi)
+        if store is not None:
+            store.put(ckey, result)
+        return result
+
+    results: List[Optional[VerificationResult]] = [None] * total
+    done = 0
+    for i in range(total):
+        if any(v is None for v in region_results[i]):
+            continue
+        if should_stop is not None and should_stop():
+            raise SweepCancelled([r for r in results[:i] if r is not None])
+        results[i] = _resolve(i)
+        done += 1
+        if on_shard is not None:
+            on_shard(done, total, results[i])
+
+    if pending:
+        remaining: Dict[int, int] = {}
+        for i, _o in pending:
+            remaining[i] = remaining.get(i, 0) + 1
+        share = (
+            store.share_spec()
+            if store is not None and hasattr(store, "share_spec")
+            else None
+        )
+        tasks = [(width, o) + shards[i] for i, o in pending]
+
+        def _record(k: int, value: Dict[str, int]) -> None:
+            nonlocal done
+            i, o = pending[k]
+            region_results[i][o] = value
+            if store is not None:
+                g_lo, g_hi = shards[i]
+                # Idempotent for workers that already wrote through a
+                # shared handle (first write wins everywhere); local
+                # (non-shareable) stores learn the value here.
+                store.put(
+                    _region_key(
+                        circuit.name, region_hashes[o], backend_name,
+                        width, o, g_lo, g_hi,
+                    ),
+                    value,
+                )
+            remaining[i] -= 1
+            if remaining[i] == 0:
+                # Tasks are range-major and executors are ordered, so
+                # ranges complete ascending -- `done` stays monotonic.
+                results[i] = _resolve(i)
+                done += 1
+                if on_shard is not None:
+                    on_shard(done, total, results[i])
+
+        run_sharded(
+            _verify_region_worker,
+            tasks,
+            jobs=jobs,
+            executor=executor,
+            initializer=_init_verify_worker,
+            initargs=(circuit, backend, share),
             on_result=_record,
             should_stop=should_stop,
             epoch=epoch,

@@ -190,7 +190,10 @@ class TestShardCache:
 
     def test_stats_shape(self):
         stats = ShardCache(maxsize=8).stats()
-        assert set(stats) == {"entries", "maxsize", "hits", "misses"}
+        # The unified store protocol adds backend/puts/runs counters on
+        # top of the historical shape.
+        assert {"entries", "maxsize", "hits", "misses"} <= set(stats)
+        assert stats["backend"] == "memory"
 
 
 # ----------------------------------------------------------------------
