@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI gate: fail when ``BENCH_engines.json`` regresses past thresholds.
+
+Compares a freshly generated benchmark artifact (usually quick mode, run
+by the ``bench-regression`` CI job) against the committed baselines in
+``benchmarks/thresholds.json`` and exits non-zero when any metric has
+regressed by more than the tolerance (default 25%).
+
+The thresholds file pins *ratio* metrics (speedups, overhead factors) --
+these are stable across host speeds, unlike absolute wall clocks, so the
+gate catches real code regressions rather than CI hardware jitter.  Each
+entry names a dotted path into the artifact::
+
+    {
+      "tolerance_pct": 25,
+      "modes": {
+        "quick": {
+          "exhaustive_verification.speedup": {"baseline": 900.0},
+          "fault_tolerance.checkpoint.journal_overhead_x":
+              {"baseline": 3.0, "direction": "lower"},
+          "native_backend.speedup_vs_bigint":
+              {"baseline": 9.0, "only_if": "native_backend.built"}
+        },
+        "full": { ... }
+      }
+    }
+
+* ``direction`` -- ``"higher"`` (default) means bigger is better and the
+  check fails when ``value < baseline * (1 - tol)``; ``"lower"`` means
+  smaller is better and the check fails when
+  ``value > baseline * (1 + tol)``.
+* ``only_if`` -- a dotted path that must be truthy in the artifact for
+  the metric to apply (e.g. native timings exist only where the C kernel
+  built); otherwise the metric is reported as skipped, not failed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py --quick --output bench.json
+    python benchmarks/check_regression.py --bench bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def lookup(doc: dict, path: str):
+    """Resolve a dotted path; None when any component is missing."""
+    cur = doc
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def check(bench: dict, spec: dict) -> int:
+    mode = "quick" if bench.get("quick") else "full"
+    tol = spec.get("tolerance_pct", 25) / 100.0
+    metrics = spec["modes"].get(mode, {})
+    print(f"checking {len(metrics)} {mode}-mode metrics (tolerance {tol:.0%})")
+
+    failures = 0
+    for path, rule in sorted(metrics.items()):
+        gate = rule.get("only_if")
+        if gate is not None and not lookup(bench, gate):
+            print(f"  SKIP {path} ({gate} is falsy)")
+            continue
+        value = lookup(bench, path)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"  FAIL {path}: missing from artifact")
+            failures += 1
+            continue
+        baseline = rule["baseline"]
+        if rule.get("direction", "higher") == "lower":
+            bound = baseline * (1 + tol)
+            ok = value <= bound
+            rel = "<="
+        else:
+            bound = baseline * (1 - tol)
+            ok = value >= bound
+            rel = ">="
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"  {status} {path}: {value:g} "
+            f"(required {rel} {bound:g}, baseline {baseline:g})"
+        )
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"{failures} metric(s) regressed past the {tol:.0%} tolerance")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        type=pathlib.Path,
+        default=HERE.parent / "BENCH_engines.json",
+        help="benchmark artifact to check (default: committed full run)",
+    )
+    parser.add_argument(
+        "--thresholds",
+        type=pathlib.Path,
+        default=HERE / "thresholds.json",
+        help="committed baselines",
+    )
+    args = parser.parse_args(argv)
+
+    bench = json.loads(args.bench.read_text())
+    spec = json.loads(args.thresholds.read_text())
+    return check(bench, spec)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --executor   execution strategy: serial/process/array/distributed
        --listen A   (with --executor distributed) coordinator address,
                     PORT or HOST:PORT (bare port binds all interfaces)
-       --backend    plane backend: bigint (default) or array (numpy/words)
+       --backend    plane backend: auto (default -- native when its C
+                    kernel builds on this host, else bigint), bigint,
+                    array, or native
        --checkpoint durable shard journal: created if missing, resumed
                     if present (completed shards are never re-run)
        --resume P   resume strictly from an existing journal (exit 2
@@ -22,6 +24,11 @@ verify --width B    exhaustively verify 2-sort(B) against the closure spec
        --json       machine-readable result (counts, failures, timing,
                     and the store's hit/miss/put counters)
 export --width B    dump 2-sort(B) as structural Verilog (stdout)
+backends            list registered plane backends, their variant on
+                    this host (e.g. whether the native C kernel built,
+                    and why not if it fell back), and what the
+                    ``auto`` alias resolves to
+     --json         machine-readable registry
 sort g h [...]      sort valid strings with the paper's circuit
      --engine       2-sort engine (fsm default; compiled = batch path)
      --executor     execution strategy for the sharded batch path
@@ -65,7 +72,7 @@ import sys
 import time
 
 from .analysis.compare import table7_rows, table8_rows
-from .backends import available_backends
+from .backends import known_backend_names
 from .circuits.export import to_verilog
 from .core.two_sort import build_two_sort
 from .graycode.valid import InvalidStringError
@@ -117,6 +124,24 @@ def _check_positive_args(args) -> int:
         print(
             f"error: --shard-size must be a positive lane count, "
             f"got {shard_size}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _check_backend_args(args) -> int:
+    """Validate --backend against the registry (exit code 2 on misuse).
+
+    Replaces argparse ``choices=``: the registry can grow (plugins,
+    tests register fakes), and the error should enumerate what *this*
+    process actually has -- including the ``auto`` alias.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None and backend not in known_backend_names():
+        print(
+            f"error: unknown plane backend {backend!r}; "
+            f"available: {', '.join(known_backend_names())}",
             file=sys.stderr,
         )
         return 2
@@ -275,6 +300,7 @@ def _cmd_verify(args) -> int:
     bad = (
         _check_positive_args(args)
         or _check_executor_args(args)
+        or _check_backend_args(args)
         or _check_checkpoint_args(args)
     )
     if bad:
@@ -360,6 +386,59 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    """Print the plane-backend registry with availability and variant.
+
+    Resolving ``native`` here may trigger its one-time kernel build --
+    that is the point: the command answers "what would ``--backend
+    auto`` do on this host, and why".
+    """
+    from .backends import (
+        AUTO_BACKEND,
+        available_backends,
+        default_backend_name,
+        get_backend,
+        resolve_backend_name,
+    )
+
+    default = default_backend_name()
+    rows = []
+    for name in available_backends():
+        be = get_backend(name)
+        variant = getattr(be, "variant", None)
+        detail = variant or "-"
+        if name == "native":
+            if variant == "built":
+                detail = "built (C kernel)"
+            else:
+                from .backends._kernel import load_failure_reason
+
+                detail = f"fallback -> bigint ({load_failure_reason()})"
+        rows.append(
+            {
+                "name": name,
+                "variant": variant,
+                "detail": detail,
+                "default": name == default,
+            }
+        )
+    auto_target = resolve_backend_name(AUTO_BACKEND)
+    if args.json:
+        print(
+            json.dumps(
+                {"backends": rows, "auto": auto_target, "default": default},
+                indent=2,
+            )
+        )
+        return 0
+    width_col = max(len(r["name"]) for r in rows) + 2
+    for r in rows:
+        marker = "  (default)" if r["default"] else ""
+        print(f"{r['name']:<{width_col}}{r['detail']}{marker}")
+    print(f"{AUTO_BACKEND:<{width_col}}alias -> {auto_target}")
+    return 0
+
+
 def _sort_request(args) -> SortRequest:
     return SortRequest.single(
         list(args.values),
@@ -370,7 +449,7 @@ def _sort_request(args) -> SortRequest:
 
 
 def _cmd_sort(args) -> int:
-    bad = _check_executor_args(args)
+    bad = _check_executor_args(args) or _check_backend_args(args)
     if bad:
         return bad
     if args.executor == "distributed":
@@ -414,7 +493,7 @@ def _cmd_sort(args) -> int:
 # Service front-end
 # ----------------------------------------------------------------------
 def _cmd_serve(args) -> int:
-    bad = _check_positive_args(args)
+    bad = _check_positive_args(args) or _check_backend_args(args)
     if bad:
         return bad
     if args.listen is not None:
@@ -500,7 +579,11 @@ def _progress_line(kind: str, event) -> str:
 
 
 def _cmd_submit(args) -> int:
-    bad = _check_executor_args(args) or _check_checkpoint_args(args, local=False)
+    bad = (
+        _check_executor_args(args)
+        or _check_backend_args(args)
+        or _check_checkpoint_args(args, local=False)
+    )
     if bad:
         return bad
     if args.request_kind == "verify":
@@ -595,6 +678,9 @@ def _cmd_worker(args) -> int:
             file=sys.stderr,
         )
         return 2
+    bad = _check_backend_args(args)
+    if bad:
+        return bad
     jobs = args.jobs or os.cpu_count() or 1
     worker = ShardWorker(
         host,
@@ -724,9 +810,9 @@ def _add_verify_args(parser) -> None:
     )
     parser.add_argument(
         "--backend",
-        default=None,
-        choices=available_backends(),
-        help="plane backend (default: bigint, or $REPRO_PLANE_BACKEND)",
+        default="auto",
+        help="plane backend: auto (default -- native when its C kernel "
+        "builds, else bigint), bigint, array, or native",
     )
     parser.add_argument(
         "--checkpoint",
@@ -776,8 +862,7 @@ def _add_sort_args(parser) -> None:
     parser.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
-        help="plane backend for --engine compiled",
+        help="plane backend for --engine compiled (auto/bigint/array/native)",
     )
     parser.add_argument(
         "--json", action="store_true", help="print the sorted words as JSON"
@@ -811,6 +896,12 @@ def main(argv=None) -> int:
     p.add_argument("--width", "-B", type=int, default=8)
     p.set_defaults(fn=_cmd_export)
 
+    p = sub.add_parser(
+        "backends", help="list plane backends with availability and variant"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_backends)
+
     p = sub.add_parser("sort", help="sort valid strings (e.g. 0M10 0110 0010)")
     _add_sort_args(p)
     p.set_defaults(fn=_cmd_sort)
@@ -830,8 +921,8 @@ def main(argv=None) -> int:
     p.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
-        help="default plane backend for requests that omit one",
+        help="default plane backend for requests that omit one "
+        "(auto/bigint/array/native)",
     )
     p.add_argument(
         "--cache-size",
@@ -876,8 +967,8 @@ def main(argv=None) -> int:
     p.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
-        help="plane backend for sweeps that do not pin one",
+        help="plane backend for sweeps that do not pin one "
+        "(auto/bigint/array/native)",
     )
     p.add_argument("--name", default=None, help="worker name in coordinator stats")
     p.add_argument(

@@ -12,7 +12,19 @@ name registry, mirroring the engine registry in
   representation, extracted verbatim; the default),
 * ``"array"``  -- uint64 lane-word arrays: numpy ufuncs when numpy is
   importable, a stdlib ``array``-of-words fallback otherwise (force the
-  fallback with ``REPRO_NO_NUMPY=1``).
+  fallback with ``REPRO_NO_NUMPY=1``),
+* ``"native"`` -- the same lane-word layout executed by a C kernel built
+  on first use (one call per shard for the whole compiled program); on
+  hosts without a compiler, or under ``REPRO_NO_NATIVE=1``, it degrades
+  to bigint planes with a one-time notice
+  (:mod:`repro.backends.native`).
+
+``"auto"`` is an *alias*, not a registered backend: it resolves to
+``native`` when the kernel is built on this host and ``bigint``
+otherwise (:func:`resolve_backend_name`).  The CLI defaults to it;
+library callers that persist or forward backend choices should resolve
+it to a concrete name first so cache and epoch keys stay stable across
+hosts with different toolchains.
 
 Selection is by name everywhere a backend crosses an API boundary
 (``compile_circuit(..., backend=...)``, ``verify --backend``, pool
@@ -29,23 +41,33 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
 
+from ._kernel import native_disabled_by_env
 from .array_backend import ArrayBackend, numpy_disabled_by_env
 from .base import Plane, PlaneBackend
 from .bigint import BigIntBackend
+from .native import NativeBackend
 
 __all__ = [
+    "AUTO_BACKEND",
     "ArrayBackend",
     "BigIntBackend",
+    "NativeBackend",
     "Plane",
     "PlaneBackend",
     "available_backends",
     "default_backend_name",
     "get_backend",
+    "known_backend_names",
+    "native_disabled_by_env",
     "numpy_disabled_by_env",
     "register_backend",
+    "resolve_backend_name",
     "set_default_backend",
     "use_backend",
 ]
+
+#: The auto-selection alias accepted wherever a backend name is.
+AUTO_BACKEND = "auto"
 
 _BACKENDS: Dict[str, PlaneBackend] = {}
 
@@ -68,6 +90,33 @@ def available_backends() -> List[str]:
     return sorted(_BACKENDS)
 
 
+def known_backend_names() -> List[str]:
+    """Every name accepted where a backend name is expected.
+
+    ``available_backends()`` plus the ``auto`` alias -- what CLI
+    validation and service-request validation check against.
+    """
+    return sorted([*_BACKENDS, AUTO_BACKEND])
+
+
+def resolve_backend_name(name: Optional[str]) -> str:
+    """Resolve ``auto`` (or ``None``) to a concrete registered name.
+
+    ``auto`` picks ``native`` when its kernel is built on this host and
+    ``bigint`` otherwise; resolving may therefore trigger the one-time
+    kernel build.  Concrete names pass through unchanged (including
+    unknown ones -- :func:`get_backend` owns that error).
+    """
+    if name is None:
+        name = default_backend_name()
+    if name == AUTO_BACKEND:
+        native = _BACKENDS.get("native")
+        if native is not None and getattr(native, "built", False):
+            return "native"
+        return "bigint"
+    return name
+
+
 def default_backend_name() -> str:
     """The process default: override > ``REPRO_PLANE_BACKEND`` > bigint."""
     if _default_override is not None:
@@ -78,7 +127,7 @@ def default_backend_name() -> str:
 def set_default_backend(name: Optional[str]) -> None:
     """Pin (or with ``None`` clear) the process-default backend."""
     global _default_override
-    if name is not None and name not in _BACKENDS:
+    if name is not None and name != AUTO_BACKEND and name not in _BACKENDS:
         raise KeyError(
             f"unknown plane backend {name!r}; available: {available_backends()}"
         )
@@ -108,7 +157,7 @@ def get_backend(
     """
     if isinstance(backend, PlaneBackend):
         return backend
-    name = backend if backend is not None else default_backend_name()
+    name = resolve_backend_name(backend)
     try:
         return _BACKENDS[name]
     except KeyError:
@@ -119,3 +168,4 @@ def get_backend(
 
 register_backend("bigint", BigIntBackend())
 register_backend("array", ArrayBackend())
+register_backend("native", NativeBackend())

@@ -1,0 +1,389 @@
+/* One-call executor for compiled two-plane programs over uint64 lane words.
+ *
+ * The Python side (repro.backends.native) lowers a compiled op list --
+ * (opcode, dst, a, b) tuples over plane slots, see repro.circuits.compiled
+ * -- to a flat int32 array once per program, packs the slot planes into
+ * two contiguous slabs (plane 0 / plane 1, one row of `words` uint64 lane
+ * words per slot, lane j at bit j&63 of word j>>6), and calls
+ * repro_run_program once per shard.  The whole gate sweep then runs here
+ * without re-entering the interpreter between ops.
+ *
+ * Two-plane Kleene semantics (Table 3 of the paper):
+ *   AND: d1 = a1 & b1, d0 = a0 | b0        OR is the plane-dual
+ *   INV: swap planes                        BUF: copy
+ *   XOR: d0 = (a0&b0)|(a1&b1), d1 = (a0&b1)|(a1&b0)
+ *
+ * Opcode values mirror repro.backends.base (OP_AND..OP_BUF); the Python
+ * loader checks repro_kernel_abi() before trusting a cached build.
+ *
+ * Tail-mask note: every input row is already masked (bits at lane index
+ * >= lanes are zero) and all five ops preserve that invariant, so the
+ * sweep needs no re-masking; `tail_mask` is still applied to each written
+ * row's last word as a guard, and repro_not_masked is the one primitive
+ * that genuinely re-masks.
+ */
+
+#include <stdint.h>
+
+#define REPRO_KERNEL_ABI 2
+
+#define OP_AND 0
+#define OP_OR 1
+#define OP_INV 2
+#define OP_XOR 3
+#define OP_BUF 4
+
+int32_t repro_kernel_abi(void) { return REPRO_KERNEL_ABI; }
+
+/* Lane-word tile: the program loop runs all ops over one column block
+ * of the slot slab before moving on, so the working set per tile is
+ * 2 planes * n_slots * REPRO_TILE_WORDS * 8 bytes -- cache-resident for
+ * realistic slot counts (a few hundred) -- instead of streaming every
+ * slot row through memory once per op.  Ops are independent across
+ * words, so tiling the word axis does not change results. */
+#define REPRO_TILE_WORDS 256
+
+void repro_run_program(const int32_t *prog, int64_t n_ops, uint64_t *p0,
+                       uint64_t *p1, int64_t words, uint64_t tail_mask) {
+    for (int64_t t0 = 0; t0 < words; t0 += REPRO_TILE_WORDS) {
+        const int64_t t1 =
+            t0 + REPRO_TILE_WORDS < words ? t0 + REPRO_TILE_WORDS : words;
+        const int64_t span = t1 - t0;
+        const int last = t1 == words;
+        for (int64_t i = 0; i < n_ops; i++) {
+            const int32_t op = prog[4 * i];
+            uint64_t *d0 = p0 + (int64_t)prog[4 * i + 1] * words + t0;
+            uint64_t *d1 = p1 + (int64_t)prog[4 * i + 1] * words + t0;
+            const uint64_t *a0 = p0 + (int64_t)prog[4 * i + 2] * words + t0;
+            const uint64_t *a1 = p1 + (int64_t)prog[4 * i + 2] * words + t0;
+            const uint64_t *b0 = p0 + (int64_t)prog[4 * i + 3] * words + t0;
+            const uint64_t *b1 = p1 + (int64_t)prog[4 * i + 3] * words + t0;
+            int64_t w;
+            switch (op) {
+            case OP_AND:
+                for (w = 0; w < span; w++) {
+                    d1[w] = a1[w] & b1[w];
+                    d0[w] = a0[w] | b0[w];
+                }
+                break;
+            case OP_OR:
+                for (w = 0; w < span; w++) {
+                    d0[w] = a0[w] & b0[w];
+                    d1[w] = a1[w] | b1[w];
+                }
+                break;
+            case OP_INV:
+                for (w = 0; w < span; w++) {
+                    d0[w] = a1[w];
+                    d1[w] = a0[w];
+                }
+                break;
+            case OP_XOR:
+                for (w = 0; w < span; w++) {
+                    const uint64_t x0 = a0[w], x1 = a1[w];
+                    const uint64_t y0 = b0[w], y1 = b1[w];
+                    d0[w] = (x0 & y0) | (x1 & y1);
+                    d1[w] = (x0 & y1) | (x1 & y0);
+                }
+                break;
+            default: /* OP_BUF */
+                for (w = 0; w < span; w++) {
+                    d0[w] = a0[w];
+                    d1[w] = a1[w];
+                }
+                break;
+            }
+            if (last && span) {
+                d0[span - 1] &= tail_mask;
+                d1[span - 1] &= tail_mask;
+            }
+        }
+    }
+}
+
+int64_t repro_tile_words(void) { return REPRO_TILE_WORDS; }
+
+int64_t repro_popcount(const uint64_t *a, int64_t words);
+
+/* Fused program + select-compare: run the ops and reduce the compared
+ * slots into one mismatch plane, per tile, entirely inside a
+ * caller-provided scratch slab (2 * n_slots * REPRO_TILE_WORDS words)
+ * that stays cache-resident.  Each compared slot ``cmp[3j]`` is checked
+ * against the lane-wise mux of two other slots:
+ *
+ *   expected = (sel & slot cmp[3j+1]) | (~sel & slot cmp[3j+2])
+ *
+ * computed in-tile on both planes -- the expected planes never
+ * materialize.  Only the input rows, ``sel``, and ``diff`` touch their
+ * full-width buffers, so the whole verification shard streams DRAM
+ * once instead of once per op.
+ *
+ *   prog/n_ops      flat [op,dst,a,b] int32 program
+ *   in_slots/in0/in1/n_in    slot index + row pointers per preset slot
+ *   zero_slots/n_zero        slots read or compared but never written
+ *   cmp/n_out       flat [slot, a_slot, b_slot] int32 triples
+ *   sel             `words` select mask row (tail-masked)
+ *   scratch         2 * n_slots * REPRO_TILE_WORDS words
+ *   diff            `words` words, fully overwritten
+ *
+ * Returns the popcount of `diff` (mismatching lanes).  Input rows and
+ * `sel` must already be tail-masked; `tail_mask` is applied to the
+ * final diff word as a guard. */
+int64_t repro_run_program_select_diff(
+    const int32_t *prog, int64_t n_ops, const int32_t *in_slots,
+    const uint64_t **in0, const uint64_t **in1, int64_t n_in,
+    const int32_t *zero_slots, int64_t n_zero, const int32_t *cmp,
+    int64_t n_out, const uint64_t *sel, uint64_t *scratch, int64_t n_slots,
+    int64_t words, uint64_t tail_mask, uint64_t *diff) {
+    uint64_t *s0 = scratch;
+    uint64_t *s1 = scratch + n_slots * REPRO_TILE_WORDS;
+    for (int64_t t0 = 0; t0 < words; t0 += REPRO_TILE_WORDS) {
+        const int64_t span =
+            words - t0 < REPRO_TILE_WORDS ? words - t0 : REPRO_TILE_WORDS;
+        int64_t i, w;
+        for (i = 0; i < n_zero; i++) {
+            uint64_t *r0 = s0 + (int64_t)zero_slots[i] * REPRO_TILE_WORDS;
+            uint64_t *r1 = s1 + (int64_t)zero_slots[i] * REPRO_TILE_WORDS;
+            for (w = 0; w < span; w++) {
+                r0[w] = 0;
+                r1[w] = 0;
+            }
+        }
+        for (i = 0; i < n_in; i++) {
+            uint64_t *r0 = s0 + (int64_t)in_slots[i] * REPRO_TILE_WORDS;
+            uint64_t *r1 = s1 + (int64_t)in_slots[i] * REPRO_TILE_WORDS;
+            const uint64_t *v0 = in0[i] + t0;
+            const uint64_t *v1 = in1[i] + t0;
+            for (w = 0; w < span; w++) {
+                r0[w] = v0[w];
+                r1[w] = v1[w];
+            }
+        }
+        for (i = 0; i < n_ops; i++) {
+            const int32_t op = prog[4 * i];
+            uint64_t *d0 = s0 + (int64_t)prog[4 * i + 1] * REPRO_TILE_WORDS;
+            uint64_t *d1 = s1 + (int64_t)prog[4 * i + 1] * REPRO_TILE_WORDS;
+            const uint64_t *a0 =
+                s0 + (int64_t)prog[4 * i + 2] * REPRO_TILE_WORDS;
+            const uint64_t *a1 =
+                s1 + (int64_t)prog[4 * i + 2] * REPRO_TILE_WORDS;
+            const uint64_t *b0 =
+                s0 + (int64_t)prog[4 * i + 3] * REPRO_TILE_WORDS;
+            const uint64_t *b1 =
+                s1 + (int64_t)prog[4 * i + 3] * REPRO_TILE_WORDS;
+            switch (op) {
+            case OP_AND:
+                for (w = 0; w < span; w++) {
+                    d1[w] = a1[w] & b1[w];
+                    d0[w] = a0[w] | b0[w];
+                }
+                break;
+            case OP_OR:
+                for (w = 0; w < span; w++) {
+                    d0[w] = a0[w] & b0[w];
+                    d1[w] = a1[w] | b1[w];
+                }
+                break;
+            case OP_INV:
+                for (w = 0; w < span; w++) {
+                    d0[w] = a1[w];
+                    d1[w] = a0[w];
+                }
+                break;
+            case OP_XOR:
+                for (w = 0; w < span; w++) {
+                    const uint64_t x0 = a0[w], x1 = a1[w];
+                    const uint64_t y0 = b0[w], y1 = b1[w];
+                    d0[w] = (x0 & y0) | (x1 & y1);
+                    d1[w] = (x0 & y1) | (x1 & y0);
+                }
+                break;
+            default: /* OP_BUF */
+                for (w = 0; w < span; w++) {
+                    d0[w] = a0[w];
+                    d1[w] = a1[w];
+                }
+                break;
+            }
+        }
+        for (w = 0; w < span; w++)
+            diff[t0 + w] = 0;
+        for (i = 0; i < n_out; i++) {
+            const uint64_t *r0 = s0 + (int64_t)cmp[3 * i] * REPRO_TILE_WORDS;
+            const uint64_t *r1 = s1 + (int64_t)cmp[3 * i] * REPRO_TILE_WORDS;
+            const uint64_t *a0 =
+                s0 + (int64_t)cmp[3 * i + 1] * REPRO_TILE_WORDS;
+            const uint64_t *a1 =
+                s1 + (int64_t)cmp[3 * i + 1] * REPRO_TILE_WORDS;
+            const uint64_t *b0 =
+                s0 + (int64_t)cmp[3 * i + 2] * REPRO_TILE_WORDS;
+            const uint64_t *b1 =
+                s1 + (int64_t)cmp[3 * i + 2] * REPRO_TILE_WORDS;
+            const uint64_t *sl = sel + t0;
+            uint64_t *d = diff + t0;
+            for (w = 0; w < span; w++) {
+                /* ~sl leaves tail bits set, but the b-plane rows are
+                 * tail-masked, so the mux result stays masked. */
+                const uint64_t s = sl[w];
+                const uint64_t e0 = (s & a0[w]) | (~s & b0[w]);
+                const uint64_t e1 = (s & a1[w]) | (~s & b1[w]);
+                d[w] |= (r0[w] ^ e0) | (r1[w] ^ e1);
+            }
+        }
+    }
+    if (words)
+        diff[words - 1] &= tail_mask;
+    return repro_popcount(diff, words);
+}
+
+static int64_t popcount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+    return (int64_t)__builtin_popcountll(x);
+#else
+    int64_t n = 0;
+    while (x) {
+        x &= x - 1;
+        n++;
+    }
+    return n;
+#endif
+}
+
+int64_t repro_popcount(const uint64_t *a, int64_t words) {
+    int64_t total = 0;
+    for (int64_t w = 0; w < words; w++)
+        total += popcount64(a[w]);
+    return total;
+}
+
+/* Ascending indices of set lanes (mismatch-lane extraction for failure
+ * reports).  Writes at most `cap` indices into `out`; returns the number
+ * written.  Callers size `out` with repro_popcount first. */
+int64_t repro_extract_lanes(const uint64_t *a, int64_t words, int32_t *out,
+                            int64_t cap) {
+    int64_t n = 0;
+    for (int64_t w = 0; w < words && n < cap; w++) {
+        uint64_t word = a[w];
+        while (word && n < cap) {
+#if defined(__GNUC__) || defined(__clang__)
+            const int bit = __builtin_ctzll(word);
+#else
+            int bit = 0;
+            while (!((word >> bit) & 1))
+                bit++;
+#endif
+            out[n++] = (int32_t)(w * 64 + bit);
+            word &= word - 1;
+        }
+    }
+    return n;
+}
+
+/* Primitive plane ops for the no-numpy built variant: op 0=AND 1=OR
+ * 2=XOR, matching repro.backends.native._BITWISE. */
+void repro_bitwise(int32_t op, const uint64_t *a, const uint64_t *b,
+                   uint64_t *out, int64_t words) {
+    int64_t w;
+    switch (op) {
+    case 0:
+        for (w = 0; w < words; w++)
+            out[w] = a[w] & b[w];
+        break;
+    case 1:
+        for (w = 0; w < words; w++)
+            out[w] = a[w] | b[w];
+        break;
+    default:
+        for (w = 0; w < words; w++)
+            out[w] = a[w] ^ b[w];
+        break;
+    }
+}
+
+void repro_not_masked(const uint64_t *a, uint64_t *out, int64_t words,
+                      uint64_t tail_mask) {
+    for (int64_t w = 0; w < words; w++)
+        out[w] = ~a[w];
+    if (words)
+        out[words - 1] &= tail_mask;
+}
+
+/* ------------------------------------------------------------------ */
+/* Structured packing: the three bit-layout shapes the exhaustive pair
+ * product is built from (PlaneBackend.from_pattern / expand_bits /
+ * from_prefix_runs).  All three zero `dst` (length `words`) first and
+ * set only bits below `lanes`.                                        */
+/* ------------------------------------------------------------------ */
+
+static void zero_words(uint64_t *dst, int64_t words) {
+    for (int64_t w = 0; w < words; w++)
+        dst[w] = 0;
+}
+
+/* OR the low `nbits` of `src` into `dst` starting at bit `off`. */
+static void or_bits(uint64_t *dst, int64_t words, int64_t off,
+                    const uint64_t *src, int64_t nbits) {
+    const int64_t w = off >> 6;
+    const int sh = (int)(off & 63);
+    const int64_t nw = (nbits + 63) >> 6;
+    for (int64_t i = 0; i < nw; i++) {
+        uint64_t v = src[i];
+        const int64_t rem = nbits - (i << 6);
+        if (rem < 64)
+            v &= ~(uint64_t)0 >> (64 - rem);
+        dst[w + i] |= v << sh;
+        if (sh && w + i + 1 < words)
+            dst[w + i + 1] |= v >> (64 - sh);
+    }
+}
+
+/* Set the bit run [start, start + len). */
+static void set_ones(uint64_t *dst, int64_t start, int64_t len) {
+    if (len <= 0)
+        return;
+    const int64_t end = start + len;
+    const int64_t w0 = start >> 6, w1 = (end - 1) >> 6;
+    const uint64_t first = ~(uint64_t)0 << (start & 63);
+    const uint64_t last = ~(uint64_t)0 >> (63 - ((end - 1) & 63));
+    if (w0 == w1) {
+        dst[w0] |= first & last;
+        return;
+    }
+    dst[w0] |= first;
+    for (int64_t w = w0 + 1; w < w1; w++)
+        dst[w] = ~(uint64_t)0;
+    dst[w1] |= last;
+}
+
+void repro_fill_pattern(uint64_t *dst, int64_t words, const uint64_t *pat,
+                        int64_t period, int64_t lanes) {
+    zero_words(dst, words);
+    for (int64_t off = 0; off < lanes; off += period) {
+        const int64_t n = lanes - off < period ? lanes - off : period;
+        or_bits(dst, words, off, pat, n);
+    }
+}
+
+void repro_fill_expand(uint64_t *dst, int64_t words, const uint64_t *bits,
+                       int64_t run, int64_t lanes) {
+    zero_words(dst, words);
+    int64_t k = 0;
+    for (int64_t off = 0; off < lanes; off += run, k++) {
+        if ((bits[k >> 6] >> (k & 63)) & 1) {
+            const int64_t n = lanes - off < run ? lanes - off : run;
+            set_ones(dst, off, n);
+        }
+    }
+}
+
+void repro_fill_prefix(uint64_t *dst, int64_t words, int64_t first,
+                       int64_t period, int64_t lanes) {
+    zero_words(dst, words);
+    int64_t k = 0;
+    for (int64_t off = 0; off < lanes; off += period, k++) {
+        int64_t n = first + k < period ? first + k : period;
+        if (lanes - off < n)
+            n = lanes - off;
+        set_ones(dst, off, n);
+    }
+}

@@ -21,6 +21,23 @@ importable unless the ``REPRO_NO_NUMPY`` environment variable is set to
 a non-empty value other than ``0`` (the tested escape hatch for forcing
 the fallback).  Pass ``use_numpy=True/False`` to pin a variant
 explicitly (``True`` raises if numpy is missing).
+
+Known small-B regression (documented, gated)
+--------------------------------------------
+Below ~B=8 the numpy variant is *slower* than the big-int backend: a
+shard is then only a handful of words wide, so each per-op ufunc call
+is ~0.5 us of Python/numpy dispatch wrapped around ~50 ns of actual
+word work, while a big-int op on the same lanes is a single ~100 ns
+int operation.  Fusing independent same-opcode ops into batched
+fancy-indexed calls does NOT fix this: a level-scheduled slab
+implementation was measured at 3-4x *slower* than the per-op loop,
+because one fancy gather costs ~1.3 us and one fancy scatter ~2.4-3 us
+-- a fused group of 8 ANDs breaks even with 8 per-op calls at best and
+loses on XOR.  The regression is therefore accepted and gated instead:
+the engine benchmark pins ``array`` near parity with ``bigint`` at
+B>=10 (where slab width amortizes dispatch) and the ``auto`` backend
+never selects ``array``, so small-B sweeps always get ``bigint`` or
+the native kernel.
 """
 
 from __future__ import annotations

@@ -105,6 +105,58 @@ class PlaneBackend(abc.ABC):
         return plane
 
     # ------------------------------------------------------------------
+    # Structured packing
+    #
+    # The exhaustive pair product is built from three bit-layout shapes
+    # (repro.verify.exhaustive): a per-string pattern tiled across
+    # g-row blocks, single bits smeared into row-wide runs, and a
+    # block-triangular prefix mask.  They are representation-level
+    # constructions (ints -> planes), so backends may build them
+    # natively instead of routing ~lanes-bit ints through from_int --
+    # the defaults below are the reference semantics every override
+    # must match bit-for-bit.
+    # ------------------------------------------------------------------
+    def from_pattern(self, value: int, period: int, lanes: int) -> Plane:
+        """``value`` (a ``period``-bit pattern) tiled every ``period`` bits.
+
+        Replicated ``ceil(lanes / period)`` times and tail-masked to
+        ``lanes``.
+        """
+        reps = -(-lanes // period) if lanes else 0
+        if not reps:
+            return self.zeros(lanes)
+        # 1 bit at the base of each block: replicates the pattern across
+        # the whole plane with one multiply.
+        rep = ((1 << (period * reps)) - 1) // ((1 << period) - 1)
+        return self.from_int(value * rep, lanes)
+
+    def expand_bits(self, value: int, run: int, lanes: int) -> Plane:
+        """Bit ``k`` of ``value`` smeared into a ``run``-wide block.
+
+        Block ``k`` covers bits ``[k * run, (k + 1) * run)``; the result
+        is tail-masked to ``lanes``.
+        """
+        count = -(-lanes // run) if lanes else 0
+        block = (1 << run) - 1
+        out = 0
+        for k in range(count):
+            if (value >> k) & 1:
+                out |= block << (k * run)
+        return self.from_int(out, lanes)
+
+    def from_prefix_runs(self, first: int, period: int, lanes: int) -> Plane:
+        """Row ``k`` (one ``period``-bit block) gets ``first + k`` low ones.
+
+        The block-triangular select mask of the pair sweep; rows are
+        clipped to ``period`` bits and the plane to ``lanes``.
+        """
+        count = -(-lanes // period) if lanes else 0
+        out = 0
+        for k in range(count):
+            out |= ((1 << min(first + k, period)) - 1) << (k * period)
+        return self.from_int(out, lanes)
+
+    # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -221,6 +273,52 @@ class PlaneBackend(abc.ABC):
             else:  # OP_BUF
                 p0[d] = p0[a]
                 p1[d] = p1[a]
+
+    def run_ops_select_diff(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        n_slots: int,
+        inputs: Sequence[Tuple[int, Plane, Plane]],
+        cmp: Sequence[Tuple[int, int, int]],
+        sel: Plane,
+        nsel: Plane,
+        lanes: int,
+    ) -> Tuple[Plane, int]:
+        """Run a program and reduce it to a mismatch plane in one step.
+
+        ``inputs`` presets slots (``(slot, p0, p1)``, already
+        backend-native); every other slot starts all-zero.  Each
+        ``cmp`` triple ``(slot, a_slot, b_slot)`` checks ``slot``
+        against the lane-wise mux of two other slots,
+
+            ``expected = (sel & a_slot) | (nsel & b_slot)``
+
+        on both planes (``nsel`` is the tail-masked complement of
+        ``sel``).  The result is ``(diff, mismatches)`` where ``diff``
+        ORs ``(got0 ^ exp0) | (got1 ^ exp1)`` over all triples and
+        ``mismatches`` is its popcount -- the whole-shard compare of
+        :mod:`repro.verify.exhaustive`, whose expected outputs are
+        exactly ``sel``-muxes of the input planes.  Backends that
+        execute programs natively can fuse the compare into the sweep
+        so neither the intermediate slot planes nor the expected planes
+        ever materialize; this generic version just runs
+        :meth:`run_ops` and folds with the primitive ops, which is the
+        reference semantics every override must match bit-for-bit.
+        """
+        zero = self.zeros(lanes)
+        p0: List[Plane] = [zero] * n_slots
+        p1: List[Plane] = [zero] * n_slots
+        for slot, a0, a1 in inputs:
+            p0[slot] = a0
+            p1[slot] = a1
+        self.run_ops(ops, p0, p1)
+        band, bor, bxor = self.band, self.bor, self.bxor
+        diff = self.zeros(lanes)
+        for slot, a, b in cmp:
+            e0 = bor(band(sel, p0[a]), band(nsel, p0[b]))
+            e1 = bor(band(sel, p1[a]), band(nsel, p1[b]))
+            diff = bor(diff, bor(bxor(p0[slot], e0), bxor(p1[slot], e1)))
+        return diff, self.popcount(diff)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

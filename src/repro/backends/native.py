@@ -1,0 +1,556 @@
+"""Native plane backend: the whole compiled sweep in one C call.
+
+``NativeBackend`` is a self-resolving proxy registered as ``"native"``.
+On first use it tries to build/load the C kernel in
+:mod:`repro.backends._kernel`; when that works it becomes a
+:class:`_KernelArrayBackend` -- same uint64 lane-word layout and
+canonical bytes as :class:`~repro.backends.array_backend.ArrayBackend`,
+but :meth:`run_ops` lowers the compiled op list to a flat int32 program
+once, packs the slot planes into two contiguous slabs, and executes the
+entire program (all gates, both planes, tail masking) in a single
+``repro_run_program`` call per shard, never re-entering Python between
+ops.  When the kernel is unavailable (no compiler, build failure,
+``REPRO_NO_NATIVE=1``) the proxy degrades to the registered ``bigint``
+backend with a one-time stderr notice, so hosts without a toolchain see
+identical behavior to ``--backend bigint``.
+
+The proxy shape matters for distribution: pool and distributed-worker
+initializers forward the backend *name*, so every worker process
+resolves ``"native"`` independently -- building the kernel where it can,
+falling back where it cannot -- while compile caches and sweep-epoch
+keys stay consistent because they key on the name, not the variant.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+from array import array
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from . import _kernel
+from .array_backend import ArrayBackend
+from .base import Plane, PlaneBackend
+
+__all__ = ["NativeBackend"]
+
+_FULL_WORD = (1 << 64) - 1
+#: Lowered programs cached per op-list identity; cleared wholesale past
+#: this many entries (each sweep reuses one program thousands of times,
+#: so eviction policy is irrelevant -- this is just a leak bound).
+_PROGRAM_CACHE_CAP = 32
+
+
+def _qptr(plane: array) -> int:
+    # Raw buffer address: every kernel pointer parameter is bound as
+    # c_void_p, so plain ints cross the FFI without a ctypes cast.
+    return plane.buffer_info()[0]
+
+
+class _KernelArrayBackend(ArrayBackend):
+    """The built variant: ArrayBackend planes, C-kernel execution."""
+
+    name = "native"
+    #: Much larger than the array budget: the fused one-call sweep tiles
+    #: the word axis internally (cache-resident scratch), so the only
+    #: per-shard costs left are Python crossings -- fewer, wider shards
+    #: win.  1<<18 runs the whole B=8 pair domain as one shard.
+    preferred_shard_lanes = 1 << 18
+
+    def __init__(self, lib, use_numpy: Optional[bool] = None):
+        super().__init__(use_numpy=use_numpy)
+        self._lib = lib
+        self._programs: dict = {}
+        self._marshal: dict = {}
+        self._tile = int(lib.repro_tile_words())
+        self._local = threading.local()
+
+    def __getstate__(self):
+        return {"use_numpy": self._np is not None}
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
+        lib = _kernel.load_kernel()
+        if lib is None:  # pragma: no cover - host lost its compiler
+            raise RuntimeError(
+                "native plane kernel unavailable after unpickling; "
+                "forward the backend name instead of the instance"
+            )
+        self._lib = lib
+        self._programs = {}
+        self._marshal = {}
+        self._tile = int(lib.repro_tile_words())
+        self._local = threading.local()
+
+    def _scratch_addr(self, n_slots: int) -> int:
+        """Address of a reusable per-thread tile slab (one C call at a time).
+
+        The buffer (2 * n_slots * tile words) and its base address are
+        cached together so the hot path pays no per-call address
+        extraction.
+        """
+        nwords = 2 * n_slots * self._tile
+        cached = getattr(self._local, "scratch", None)
+        if cached is None or cached[1] < nwords:
+            if self._np is not None:
+                buf = self._np.empty(nwords, dtype=self._np.uint64)
+                addr = buf.ctypes.data
+            else:
+                buf = array("Q", bytes(8 * nwords))
+                addr = buf.buffer_info()[0]
+            cached = (buf, nwords, addr)
+            self._local.scratch = cached
+        return cached[2]
+
+    # ------------------------------------------------------------------
+    # Program lowering
+    # ------------------------------------------------------------------
+    def _lower(self, ops: Sequence[Tuple[int, int, int, int]]):
+        """Flat int32 program + slab preload/copy-out slot lists.
+
+        Keyed on the op list's identity (compiled programs are built once
+        per circuit epoch and reused across shards); ``ops`` itself is
+        retained in the entry so the id stays valid.
+        """
+        key = id(ops)
+        cached = self._programs.get(key)
+        if cached is not None and cached[0] is ops:
+            return cached[1], cached[2], cached[3]
+        flat = []
+        for quad in ops:
+            flat.extend(quad)
+        prog = (ctypes.c_int32 * len(flat))(*flat)
+        # Only slots read before any write (inputs, constants, unwired
+        # defaults) need copying into the slab; every dst is written
+        # before it is read (topological order), and only dsts need
+        # copying back out.
+        written: set = set()
+        preloaded: set = set()
+        preload: List[int] = []
+        dsts: List[int] = []
+        for _op, d, a, b in ops:
+            for s in (a, b):
+                if s not in written and s not in preloaded:
+                    preloaded.add(s)
+                    preload.append(s)
+            if d not in written:
+                written.add(d)
+                dsts.append(d)
+        if len(self._programs) >= _PROGRAM_CACHE_CAP:
+            self._programs.clear()
+        entry = (ops, prog, tuple(preload), tuple(dsts))
+        self._programs[key] = entry
+        return prog, entry[2], entry[3]
+
+    # ------------------------------------------------------------------
+    # Compiled-program execution: one C call for the whole sweep
+    # ------------------------------------------------------------------
+    def run_ops(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        p0: List[Any],
+        p1: List[Any],
+    ) -> None:
+        words = len(p0[0]) if p0 else 0
+        if not ops or words == 0:
+            super().run_ops(ops, p0, p1)
+            return
+        prog, preload, dsts = self._lower(ops)
+        n_slots = len(p0)
+        if self._np is not None:
+            np = self._np
+            slab = np.empty((2, n_slots, words), dtype=np.uint64)
+            slab0, slab1 = slab[0], slab[1]
+            for s in preload:
+                slab0[s] = p0[s]
+                slab1[s] = p1[s]
+            self._lib.repro_run_program(
+                prog,
+                len(ops),
+                slab0.ctypes.data,
+                slab1.ctypes.data,
+                words,
+                _FULL_WORD,
+            )
+            # Slab-row views, not copies: detach() copies on retention.
+            for d in dsts:
+                p0[d] = slab0[d]
+                p1[d] = slab1[d]
+            return
+        slab0 = array("Q", bytes(8 * n_slots * words))
+        slab1 = array("Q", bytes(8 * n_slots * words))
+        for s in preload:
+            slab0[s * words : (s + 1) * words] = p0[s]
+            slab1[s * words : (s + 1) * words] = p1[s]
+        self._lib.repro_run_program(
+            prog, len(ops), _qptr(slab0), _qptr(slab1), words, _FULL_WORD
+        )
+        for d in dsts:
+            p0[d] = slab0[d * words : (d + 1) * words]
+            p1[d] = slab1[d * words : (d + 1) * words]
+
+    # ------------------------------------------------------------------
+    # Kernel-accelerated primitives
+    # ------------------------------------------------------------------
+    def _ptr(self, plane) -> int:
+        if self._np is not None:
+            return plane.ctypes.data
+        return _qptr(plane)
+
+    def _contiguous(self, plane):
+        if self._np is not None and not plane.flags["C_CONTIGUOUS"]:
+            return self._np.ascontiguousarray(plane)
+        return plane
+
+    def popcount(self, a) -> int:
+        a = self._contiguous(a)
+        return int(self._lib.repro_popcount(self._ptr(a), len(a)))
+
+    def iter_set_lanes(self, a, lanes: int) -> Iterator[int]:
+        a = self._contiguous(a)
+        n = self.popcount(a)
+        if not n:
+            return iter(())
+        out = (ctypes.c_int32 * n)()
+        got = self._lib.repro_extract_lanes(self._ptr(a), len(a), out, n)
+        return iter(out[:got])
+
+    def _select_diff_marshal(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        preload: Tuple[int, ...],
+        dsts: Tuple[int, ...],
+        in_slot_ids: Tuple[int, ...],
+        cmp_t: Tuple[Tuple[int, int, int], ...],
+    ):
+        """Cached per-(program, slot layout) ctypes arrays for the C call.
+
+        One verification sweep makes thousands of calls with identical
+        slot structure, so the int32 arrays (preset slots, zero slots,
+        compare triples) are built once and revalidated by tuple
+        compare; only the plane addresses change per shard.
+        """
+        key = id(ops)
+        cached = self._marshal.get(key)
+        if (
+            cached is not None
+            and cached[0] is ops
+            and cached[1] == in_slot_ids
+            and cached[2] == cmp_t
+        ):
+            return cached[3]
+        provided = set(in_slot_ids)
+        written = set(dsts)
+        # Slots the C sweep reads (or compares) without anyone having
+        # written them get zero rows, matching the all-zero slot fill of
+        # the generic path.
+        zero_slots = [s for s in preload if s not in provided]
+        seen = set(zero_slots)
+        for triple in cmp_t:
+            for s in triple:
+                if s not in written and s not in provided and s not in seen:
+                    seen.add(s)
+                    zero_slots.append(s)
+        entry = (
+            (ctypes.c_int32 * len(in_slot_ids))(*in_slot_ids),
+            (ctypes.c_int32 * len(zero_slots))(*zero_slots),
+            len(zero_slots),
+            (ctypes.c_int32 * (3 * len(cmp_t)))(
+                *(s for triple in cmp_t for s in triple)
+            ),
+        )
+        if len(self._marshal) >= _PROGRAM_CACHE_CAP:
+            self._marshal.clear()
+        self._marshal[key] = (ops, in_slot_ids, cmp_t, entry)
+        return entry
+
+    def run_ops_select_diff(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        n_slots: int,
+        inputs: Sequence[Tuple[int, Any, Any]],
+        cmp: Sequence[Tuple[int, int, int]],
+        sel: Any,
+        nsel: Any,
+        lanes: int,
+    ):
+        words = self.words_for(lanes)
+        if not ops or words == 0 or n_slots == 0:
+            return super().run_ops_select_diff(
+                ops, n_slots, inputs, cmp, sel, nsel, lanes
+            )
+        prog, preload, dsts = self._lower(ops)
+        n_in = len(inputs)
+        in_slot_ids = tuple(s for s, _, _ in inputs)
+        cmp_t = tuple(cmp)
+        in_arr, zero_arr, n_zero, cmp_arr = self._select_diff_marshal(
+            ops, preload, dsts, in_slot_ids, cmp_t
+        )
+        # Plane-row pointer tables as one raw address buffer: [all p0
+        # rows][all p1 rows].  keep pins the (possibly copied) rows for
+        # the duration of the call; nsel is unused -- the kernel
+        # complements sel in-register.
+        keep: List[Any] = []
+        if self._np is not None:
+            np = self._np
+            addr = np.empty(2 * n_in, dtype=np.uintp)
+            for i, (_, a0, a1) in enumerate(inputs):
+                a0 = self._contiguous(a0)
+                a1 = self._contiguous(a1)
+                keep.append(a0)
+                keep.append(a1)
+                addr[i] = a0.ctypes.data
+                addr[n_in + i] = a1.ctypes.data
+            base = addr.ctypes.data
+            sel = self._contiguous(sel)
+            diff = np.empty(words, dtype=np.uint64)
+        else:
+            addr = array("Q", bytes(16 * n_in)) if n_in else array("Q")
+            for i, (_, a0, a1) in enumerate(inputs):
+                addr[i] = _qptr(a0)
+                addr[n_in + i] = _qptr(a1)
+            base = _qptr(addr) if n_in else 0
+            diff = array("Q", bytes(8 * words))
+        mismatches = self._lib.repro_run_program_select_diff(
+            prog,
+            len(ops),
+            in_arr,
+            base,
+            base + 8 * n_in,
+            n_in,
+            zero_arr,
+            n_zero,
+            cmp_arr,
+            len(cmp_t),
+            self._ptr(sel),
+            self._scratch_addr(n_slots),
+            n_slots,
+            words,
+            self._tail_mask(lanes),
+            self._ptr(diff),
+        )
+        return diff, int(mismatches)
+
+    # ------------------------------------------------------------------
+    # Structured packing in C: the pair-product planes are built without
+    # routing ~lanes-bit ints through Python (semantics: base.py).
+    # ------------------------------------------------------------------
+    def _int_plane(self, value: int, words: int):
+        """`value` as a `words`-long lane-word buffer (little-endian)."""
+        return self.from_bytes(value.to_bytes(words * 8, "little"), words * 64)
+
+    def _empty_plane(self, words: int):
+        """Uninitialized destination for the C fills (they zero first)."""
+        if self._np is not None:
+            return self._np.empty(words, dtype=self._np.uint64)
+        return array("Q", bytes(8 * words))
+
+    def from_pattern(self, value: int, period: int, lanes: int):
+        words = self.words_for(lanes)
+        if not words:
+            return self.zeros(lanes)
+        dst = self._empty_plane(words)
+        pat = self._int_plane(value, self.words_for(period))
+        self._lib.repro_fill_pattern(
+            self._ptr(dst), words, self._ptr(pat), period, lanes
+        )
+        return dst
+
+    def expand_bits(self, value: int, run: int, lanes: int):
+        words = self.words_for(lanes)
+        if not words:
+            return self.zeros(lanes)
+        dst = self._empty_plane(words)
+        count = -(-lanes // run)
+        bits = self._int_plane(value & ((1 << count) - 1), self.words_for(count))
+        self._lib.repro_fill_expand(
+            self._ptr(dst), words, self._ptr(bits), run, lanes
+        )
+        return dst
+
+    def from_prefix_runs(self, first: int, period: int, lanes: int):
+        words = self.words_for(lanes)
+        if not words:
+            return self.zeros(lanes)
+        dst = self._empty_plane(words)
+        self._lib.repro_fill_prefix(self._ptr(dst), words, first, period, lanes)
+        return dst
+
+    # The stdlib-array variant's word loops are the slowest path in the
+    # tree; route its primitive ops through the kernel too (the numpy
+    # variant keeps its ufuncs -- already native speed).
+    def band(self, a, b):
+        if self._np is not None:
+            return super().band(a, b)
+        out = array("Q", bytes(8 * len(a)))
+        self._lib.repro_bitwise(0, _qptr(a), _qptr(b), _qptr(out), len(a))
+        return out
+
+    def bor(self, a, b):
+        if self._np is not None:
+            return super().bor(a, b)
+        out = array("Q", bytes(8 * len(a)))
+        self._lib.repro_bitwise(1, _qptr(a), _qptr(b), _qptr(out), len(a))
+        return out
+
+    def bxor(self, a, b):
+        if self._np is not None:
+            return super().bxor(a, b)
+        out = array("Q", bytes(8 * len(a)))
+        self._lib.repro_bitwise(2, _qptr(a), _qptr(b), _qptr(out), len(a))
+        return out
+
+    def bnot(self, a, lanes: int):
+        if self._np is not None:
+            return super().bnot(a, lanes)
+        out = array("Q", bytes(8 * len(a)))
+        self._lib.repro_not_masked(
+            _qptr(a), _qptr(out), len(a), self._tail_mask(lanes)
+        )
+        return out
+
+
+class NativeBackend(PlaneBackend):
+    """Registry proxy: kernel-built planes when possible, bigint otherwise.
+
+    Resolution is lazy (first plane operation or attribute that needs the
+    implementation), so importing the package never forks a compiler; it
+    is also sticky for the life of the instance.
+    """
+
+    name = "native"
+
+    def __init__(self):
+        self._impl: Optional[PlaneBackend] = None
+
+    def _resolve(self) -> PlaneBackend:
+        impl = self._impl
+        if impl is None:
+            lib = _kernel.load_kernel()
+            if lib is not None:
+                impl = _KernelArrayBackend(lib)
+                impl.name = self.name
+            else:
+                _kernel.emit_fallback_notice()
+                from . import get_backend
+
+                impl = get_backend("bigint")
+            self._impl = impl
+        return impl
+
+    # Proxies cross process boundaries stripped to their name, the same
+    # way initializers forward backends: the receiving side re-resolves
+    # (and builds or falls back) locally.
+    def __getstate__(self):
+        return {"name": self.name}
+
+    def __setstate__(self, state):
+        self.name = state["name"]
+        self._impl = None
+
+    @property
+    def built(self) -> bool:
+        """True when the C kernel is loaded (not the bigint fallback)."""
+        return isinstance(self._resolve(), _KernelArrayBackend)
+
+    @property
+    def variant(self) -> str:
+        """``"built"`` or ``"fallback"`` -- recorded by bench/CLI."""
+        return "built" if self.built else "fallback"
+
+    @property
+    def word_bits(self) -> int:  # type: ignore[override]
+        return self._resolve().word_bits
+
+    @property
+    def preferred_shard_lanes(self) -> int:  # type: ignore[override]
+        return self._resolve().preferred_shard_lanes
+
+    # ------------------------------------------------------------------
+    # PlaneBackend surface: pure forwarders
+    # ------------------------------------------------------------------
+    def zeros(self, lanes: int) -> Plane:
+        return self._resolve().zeros(lanes)
+
+    def ones(self, lanes: int) -> Plane:
+        return self._resolve().ones(lanes)
+
+    def from_int(self, value: int, lanes: int) -> Plane:
+        return self._resolve().from_int(value, lanes)
+
+    def from_bytes(self, data: bytes, lanes: int) -> Plane:
+        return self._resolve().from_bytes(data, lanes)
+
+    def from_pattern(self, value: int, period: int, lanes: int) -> Plane:
+        return self._resolve().from_pattern(value, period, lanes)
+
+    def expand_bits(self, value: int, run: int, lanes: int) -> Plane:
+        return self._resolve().expand_bits(value, run, lanes)
+
+    def from_prefix_runs(self, first: int, period: int, lanes: int) -> Plane:
+        return self._resolve().from_prefix_runs(first, period, lanes)
+
+    def coerce(self, plane: Plane, lanes: int) -> Plane:
+        return self._resolve().coerce(plane, lanes)
+
+    def to_int(self, plane: Plane, lanes: int) -> int:
+        return self._resolve().to_int(plane, lanes)
+
+    def to_bytes(self, plane: Plane, lanes: int) -> bytes:
+        return self._resolve().to_bytes(plane, lanes)
+
+    def band(self, a: Plane, b: Plane) -> Plane:
+        return self._resolve().band(a, b)
+
+    def bor(self, a: Plane, b: Plane) -> Plane:
+        return self._resolve().bor(a, b)
+
+    def bxor(self, a: Plane, b: Plane) -> Plane:
+        return self._resolve().bxor(a, b)
+
+    def bnot(self, a: Plane, lanes: int) -> Plane:
+        return self._resolve().bnot(a, lanes)
+
+    def eq(self, a: Plane, b: Plane) -> bool:
+        return self._resolve().eq(a, b)
+
+    def any(self, a: Plane) -> bool:
+        return self._resolve().any(a)
+
+    def popcount(self, a: Plane) -> int:
+        return self._resolve().popcount(a)
+
+    def get_lane(self, a: Plane, lane: int) -> int:
+        return self._resolve().get_lane(a, lane)
+
+    def detach(self, a: Plane) -> Plane:
+        return self._resolve().detach(a)
+
+    def iter_set_lanes(self, a: Plane, lanes: int) -> Iterator[int]:
+        return self._resolve().iter_set_lanes(a, lanes)
+
+    def run_ops(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        p0: List[Plane],
+        p1: List[Plane],
+    ) -> None:
+        self._resolve().run_ops(ops, p0, p1)
+
+    def run_ops_select_diff(
+        self,
+        ops: Sequence[Tuple[int, int, int, int]],
+        n_slots: int,
+        inputs: Sequence[Tuple[int, Plane, Plane]],
+        cmp: Sequence[Tuple[int, int, int]],
+        sel: Plane,
+        nsel: Plane,
+        lanes: int,
+    ) -> Tuple[Plane, int]:
+        return self._resolve().run_ops_select_diff(
+            ops, n_slots, inputs, cmp, sel, nsel, lanes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "unresolved" if self._impl is None else self.variant
+        return f"<NativeBackend {self.name!r} ({state})>"

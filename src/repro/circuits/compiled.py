@@ -478,6 +478,61 @@ class CompiledCircuit:
         be.run_ops(self.ops, p0, p1)
         return p0, p1
 
+    def run_select_diff(
+        self,
+        input_planes: Sequence[Tuple[Plane, Plane]],
+        n_vectors: int,
+        sel: Plane,
+        nsel: Plane,
+        pairs: Sequence[Tuple[int, int, int]],
+    ) -> Tuple[Plane, int]:
+        """Execute and compare outputs against input muxes in one call.
+
+        Each ``pairs`` triple ``(out, a, b)`` names an *output index*
+        and two *primary input indices*: output ``out`` is expected to
+        equal ``(sel & input a) | (nsel & input b)`` lane-wise on both
+        planes, where ``nsel`` is the tail-masked complement of ``sel``
+        (both backend-native).  Returns the backend's
+        ``(diff, mismatches)`` -- the OR over pairs of
+        ``(got ^ expected)`` on both planes, plus its popcount
+        (:meth:`PlaneBackend.run_ops_select_diff`).  The verification
+        sweeps use this instead of :meth:`run_planes` because every
+        expected two-sort output *is* such a mux; backends with fused
+        native execution then never materialize intermediate or
+        expected planes.  Results are bit-identical across backends.
+        """
+        if len(input_planes) != self.n_inputs:
+            raise ValueError(
+                f"{self.name}: expected planes for {self.n_inputs} inputs, "
+                f"got {len(input_planes)}"
+            )
+        be = self.backend
+        inputs = [
+            (slot, be.coerce(a0, n_vectors), be.coerce(a1, n_vectors))
+            for slot, (a0, a1) in zip(self.input_slots, input_planes)
+        ]
+        if self.const_slots:
+            zero = be.zeros(n_vectors)
+            full = be.ones(n_vectors)
+            for slot, value in self.const_slots:
+                if value is Trit.ONE:
+                    inputs.append((slot, zero, full))
+                else:
+                    inputs.append((slot, full, zero))
+        cmp = [
+            (self.output_slots[out], self.input_slots[a], self.input_slots[b])
+            for out, a, b in pairs
+        ]
+        return be.run_ops_select_diff(
+            self.ops,
+            self.n_slots,
+            inputs,
+            cmp,
+            be.coerce(sel, n_vectors),
+            be.coerce(nsel, n_vectors),
+            n_vectors,
+        )
+
     # ------------------------------------------------------------------
     # Encoding / decoding
     # ------------------------------------------------------------------

@@ -51,7 +51,7 @@ from typing import (
     Union,
 )
 
-from ..backends import available_backends
+from ..backends import known_backend_names
 from ..core.two_sort import build_two_sort
 from ..graycode.valid import validate
 from ..networks.simulate import ENGINES, sort_words_batch
@@ -103,10 +103,10 @@ def _validate_sharding(
             f"unknown executor {executor!r}; "
             f"available: {available_executors()}"
         )
-    if backend is not None and backend not in available_backends():
+    if backend is not None and backend not in known_backend_names():
         raise ValueError(
             f"unknown plane backend {backend!r}; "
-            f"available: {available_backends()}"
+            f"available: {known_backend_names()}"
         )
 
 

@@ -223,52 +223,74 @@ def _string_bit_masks(width: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
     return tuple(m0), tuple(m1)
 
 
-def _pair_chunk_planes(
-    width: int, g_lo: int, g_hi: int
-) -> Tuple[List[Tuple[int, int]], int]:
-    """Input planes for pairs ``(strings[gi], strings[hi])``.
+@lru_cache(maxsize=8)
+def _shard_input_planes(be: PlaneBackend, width: int, g_lo: int, g_hi: int):
+    """Backend-native input planes for one g-row shard.
 
     Covers ``gi`` in ``[g_lo, g_hi)`` against *all* ``hi``; lane index
     is ``(gi - g_lo) * S + hi`` (h fastest).  Returns the 2*width input
-    planes (g bits then h bits) and the lane count.
+    planes (g bits then h bits) and the lane count, built through the
+    backend's structured-packing primitives
+    (:meth:`PlaneBackend.from_pattern` and friends) so word-array
+    backends construct lane words directly instead of routing
+    ``lanes``-bit ints through ``from_int``.  The base-class defaults
+    reproduce the original big-int construction exactly, so every
+    backend yields bit-identical planes.
+
+    Memoized: the planes depend only on the shard, not the circuit, and
+    every sweep treats input planes as immutable (``run_ops`` never
+    writes a preset slot's plane).  Region sweeps verify many cones over
+    the *same* shard and re-verification revisits shards wholesale, so
+    a small LRU turns the pack stage into a lookup; backends hash by
+    identity and registry entries are process-long, so the keys are
+    stable.
     """
     m0, m1 = _string_bit_masks(width)
     S = (1 << (width + 1)) - 1  # |S^B_rg|
     K = g_hi - g_lo
     lanes = K * S
-    block = (1 << S) - 1
-    # 1 bit at the base of each of the K h-blocks: replicates an S-bit
-    # pattern across the whole chunk with one multiply.
-    rep = ((1 << (S * K)) - 1) // block
-
-    planes: List[Tuple[int, int]] = []
+    g_mask = (1 << K) - 1
+    planes = []
     for b in range(width):  # g-side: spread bit gi into an S-wide block
-        p0 = 0
-        p1 = 0
-        mb0, mb1 = m0[b], m1[b]
-        for k, gi in enumerate(range(g_lo, g_hi)):
-            if (mb0 >> gi) & 1:
-                p0 |= block << (S * k)
-            if (mb1 >> gi) & 1:
-                p1 |= block << (S * k)
-        planes.append((p0, p1))
+        planes.append(
+            (
+                be.expand_bits((m0[b] >> g_lo) & g_mask, S, lanes),
+                be.expand_bits((m1[b] >> g_lo) & g_mask, S, lanes),
+            )
+        )
     for b in range(width):  # h-side: per-string pattern, replicated
-        planes.append((m0[b] * rep, m1[b] * rep))
-    return planes, lanes
+        planes.append(
+            (be.from_pattern(m0[b], S, lanes), be.from_pattern(m1[b], S, lanes))
+        )
+    return tuple(planes), lanes
 
 
-def _select_mask(width: int, g_lo: int, g_hi: int) -> int:
-    """Lanes where ``rank(g) >= rank(h)``, i.e. the order-max is ``g``.
+def _shard_select_mask(be: PlaneBackend, width: int, g_lo: int, lanes: int):
+    """``(sel, nsel)`` for one g-row shard.
 
-    Strings are enumerated in ascending rank, so within the block of
-    ``gi`` this is simply the lanes ``hi <= gi`` -- a block-triangular
-    mask.
+    ``sel`` is set on lanes where ``rank(g) >= rank(h)`` (strings are
+    enumerated in ascending rank, so within the block of ``gi`` these
+    are the lanes ``hi <= gi`` -- a block-triangular prefix mask).  The
+    expected Table 2 order max takes each bit from ``g`` on those lanes
+    and from ``h`` elsewhere; the min is the complementary selection.
+    Both the mux and the compare run fused inside
+    :meth:`CompiledCircuit.run_select_diff`.
     """
     S = (1 << (width + 1)) - 1
-    sel = 0
-    for k, gi in enumerate(range(g_lo, g_hi)):
-        sel |= ((1 << (gi + 1)) - 1) << (S * k)
-    return sel
+    sel = be.from_prefix_runs(g_lo + 1, S, lanes)
+    return sel, be.bnot(sel, lanes)
+
+
+def _two_sort_select_pairs(width: int):
+    """``(out, a, b)`` mux triples for every 2-sort output.
+
+    Output ``b < width`` (bit ``b`` of the order max) expects g-input
+    ``b`` where ``sel``, h-input ``width + b`` elsewhere; output
+    ``width + b`` (order min) is the complementary selection.
+    """
+    return [(b, b, width + b) for b in range(width)] + [
+        (width + b, width + b, b) for b in range(width)
+    ]
 
 
 def check_two_sort_shape(circuit: Circuit, width: int) -> None:
@@ -320,39 +342,20 @@ def verify_two_sort_shard(
     result = VerificationResult()
 
     be: PlaneBackend = program.backend
-    int_planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
-    # The big-int pair product is packed into backend planes exactly
-    # once per shard; run_planes accepts the native planes as-is, and
-    # the expected-output comparison below reuses them.
-    native = [
-        (be.from_int(a0, lanes), be.from_int(a1, lanes))
-        for a0, a1 in int_planes
-    ]
-    p0, p1 = program.run_planes(native, lanes)
-    sel = be.from_int(_select_mask(width, g_lo, g_hi), lanes)
-    nsel = be.bnot(sel, lanes)
-    g_planes = native[:width]
-    h_planes = native[width:]
-
-    diff = be.zeros(lanes)
-    for b in range(width):
-        # Expected max bit b: g's bit where sel, else h's.
-        e0 = be.bor(be.band(sel, g_planes[b][0]), be.band(nsel, h_planes[b][0]))
-        e1 = be.bor(be.band(sel, g_planes[b][1]), be.band(nsel, h_planes[b][1]))
-        s_max = program.output_slots[b]
-        diff = be.bor(
-            diff, be.bor(be.bxor(p0[s_max], e0), be.bxor(p1[s_max], e1))
-        )
-        # Expected min bit b: the complementary selection.
-        e0 = be.bor(be.band(sel, h_planes[b][0]), be.band(nsel, g_planes[b][0]))
-        e1 = be.bor(be.band(sel, h_planes[b][1]), be.band(nsel, g_planes[b][1]))
-        s_min = program.output_slots[width + b]
-        diff = be.bor(
-            diff, be.bor(be.bxor(p0[s_min], e0), be.bxor(p1[s_min], e1))
-        )
+    # The pair product is packed into backend planes exactly once per
+    # shard; run_select_diff accepts the native planes as-is and fuses
+    # the sweep with the expected-output mux and comparison.
+    native, lanes = _shard_input_planes(be, width, g_lo, g_hi)
+    sel, nsel = _shard_select_mask(be, width, g_lo, lanes)
+    diff, mismatches = program.run_select_diff(
+        native, lanes, sel, nsel, _two_sort_select_pairs(width)
+    )
 
     result.checked += lanes
-    if be.any(diff):
+    if mismatches:
+        # Failures are rare: only then re-run the program for the full
+        # slot planes the per-lane decode needs.
+        p0, p1 = program.run_planes(native, lanes)
         for lane in be.iter_set_lanes(diff, lanes):
             g = strings[g_lo + lane // S]
             h = strings[lane % S]
@@ -384,26 +387,19 @@ def verify_two_sort_region_shard(
     :class:`VerificationResult` failure messages byte-for-byte.
     """
     be: PlaneBackend = program.backend
-    int_planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
-    native = [
-        (be.from_int(a0, lanes), be.from_int(a1, lanes))
-        for a0, a1 in int_planes
-    ]
-    p0, p1 = program.run_planes(native, lanes)
-    sel = be.from_int(_select_mask(width, g_lo, g_hi), lanes)
-    nsel = be.bnot(sel, lanes)
-    g_planes = native[:width]
-    h_planes = native[width:]
+    native, lanes = _shard_input_planes(be, width, g_lo, g_hi)
+    sel, nsel = _shard_select_mask(be, width, g_lo, lanes)
 
     if output_index < width:  # a max bit: g where sel, else h
-        a, c, b = g_planes, h_planes, output_index
+        b = output_index
+        pair = (0, b, width + b)
     else:  # a min bit: the complementary selection
-        a, c, b = h_planes, g_planes, output_index - width
-    e0 = be.bor(be.band(sel, a[b][0]), be.band(nsel, c[b][0]))
-    e1 = be.bor(be.band(sel, a[b][1]), be.band(nsel, c[b][1]))
-    slot = program.output_slots[0]
-    diff = be.bor(be.bxor(p0[slot], e0), be.bxor(p1[slot], e1))
-    return {"lanes": lanes, "mismatches": be.popcount(diff)}
+        b = output_index - width
+        pair = (0, width + b, b)
+    _diff, mismatches = program.run_select_diff(
+        native, lanes, sel, nsel, [pair]
+    )
+    return {"lanes": lanes, "mismatches": mismatches}
 
 
 def verify_two_sort_circuit(
@@ -451,7 +447,9 @@ def verify_containment(
     for g_lo, g_hi in pair_shards(
         width, program.backend.preferred_shard_lanes
     ):
-        planes, lanes = _pair_chunk_planes(width, g_lo, g_hi)
+        planes, lanes = _shard_input_planes(
+            program.backend, width, g_lo, g_hi
+        )
         p0, p1 = program.run_planes(planes, lanes)
         outputs = program.decode_outputs(p0, p1, lanes)
         for lane, out in enumerate(outputs):

@@ -53,7 +53,13 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..backends import PlaneBackend, get_backend, use_backend
+from ..backends import (
+    AUTO_BACKEND,
+    PlaneBackend,
+    get_backend,
+    resolve_backend_name,
+    use_backend,
+)
 from ..circuits.compiled import BackendLike, compile_circuit
 from ..circuits.netlist import Circuit
 from ..store import shared_store
@@ -609,6 +615,12 @@ def verify_two_sort_sharded(
     jobs = default_jobs() if not jobs else max(1, jobs)
     if isinstance(backend, PlaneBackend):
         backend = backend.name
+    if backend == AUTO_BACKEND:
+        # Resolve the alias once, up front, so shard sizing, cache and
+        # epoch keys, and the name forwarded to every worker all agree
+        # on one concrete backend (workers on compiler-less hosts still
+        # degrade via the native proxy's bigint fallback).
+        backend = resolve_backend_name(backend)
     # The executor may scope a different default backend ("array"), in
     # which case the explicit-backend resolution here still matches
     # what workers compile: None resolves identically in both places

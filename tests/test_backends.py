@@ -14,13 +14,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backends import (
+    AUTO_BACKEND,
     ArrayBackend,
     BigIntBackend,
+    NativeBackend,
     available_backends,
     default_backend_name,
     get_backend,
+    known_backend_names,
     numpy_disabled_by_env,
     register_backend,
+    resolve_backend_name,
     set_default_backend,
     use_backend,
 )
@@ -50,10 +54,16 @@ def _numpy_available() -> bool:
 
 
 def _backend_params():
-    """Every representation under test, fallback variant included."""
+    """Every representation under test, fallback variant included.
+
+    ``native`` is the registry proxy: on hosts with a C compiler it
+    resolves to the kernel-backed word-array representation, elsewhere
+    to the bigint fallback -- either way it must be a drop-in.
+    """
     params = [
         pytest.param(BigIntBackend(), id="bigint"),
         pytest.param(ArrayBackend(use_numpy=False), id="array-fallback"),
+        pytest.param(get_backend("native"), id="native"),
     ]
     if _numpy_available():
         params.append(pytest.param(ArrayBackend(use_numpy=True), id="array-numpy"))
@@ -111,6 +121,102 @@ class TestRegistry:
         assert ArrayBackend().variant == "fallback"
         monkeypatch.setenv("REPRO_NO_NUMPY", "0")
         assert not numpy_disabled_by_env()
+
+    def test_native_registered(self):
+        assert "native" in available_backends()
+        be = get_backend("native")
+        assert be.name == "native"
+        assert be.variant in ("built", "fallback")
+        assert be.built == (be.variant == "built")
+
+    def test_known_names_include_auto_alias(self):
+        names = known_backend_names()
+        assert set(names) == set(available_backends()) | {AUTO_BACKEND}
+        assert names == sorted(names)
+
+    def test_auto_resolves_to_native_or_bigint(self):
+        resolved = resolve_backend_name(AUTO_BACKEND)
+        expect = "native" if get_backend("native").built else "bigint"
+        assert resolved == expect
+        assert get_backend(AUTO_BACKEND).name == resolved
+        # concrete names resolve to themselves; the default is unchanged
+        assert resolve_backend_name("array") == "array"
+        assert default_backend_name() == "bigint"
+
+    def test_use_backend_accepts_auto(self):
+        with use_backend(AUTO_BACKEND) as be:
+            assert be.name == resolve_backend_name(AUTO_BACKEND)
+            assert get_backend(None) is be
+        assert default_backend_name() == "bigint"
+
+
+# ----------------------------------------------------------------------
+# Native backend: forced fallback (REPRO_NO_NATIVE=1)
+# ----------------------------------------------------------------------
+class TestNativeFallback:
+    """The graceful-degradation contract: no kernel, same behavior.
+
+    These construct *fresh* proxies after resetting the kernel loader,
+    so they exercise the fallback resolution path regardless of whether
+    this host built the kernel; the registry's own native instance is
+    left untouched (its resolution is cached per instance).
+    """
+
+    @pytest.fixture
+    def no_native(self, monkeypatch):
+        from repro.backends import _kernel
+
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        _kernel._reset_for_tests()
+        yield
+        _kernel._reset_for_tests()
+
+    def test_fresh_proxy_reports_fallback(self, no_native):
+        be = NativeBackend()
+        assert be.variant == "fallback"
+        assert not be.built
+        assert be.word_bits == BigIntBackend.word_bits
+
+    def test_auto_resolves_to_bigint_without_kernel(self, no_native):
+        original = get_backend("native")
+        try:
+            register_backend("native", NativeBackend())
+            assert resolve_backend_name(AUTO_BACKEND) == "bigint"
+            assert get_backend(AUTO_BACKEND).name == "bigint"
+        finally:
+            register_backend("native", original)
+
+    def test_fallback_verification_matches_bigint(self, no_native):
+        be = NativeBackend()
+        circuit = build_two_sort(3)
+        out = verify_two_sort_circuit(circuit, 3, backend=be)
+        ref = verify_two_sort_circuit(circuit, 3, backend="bigint")
+        assert out.ok and out.summary() == ref.summary()
+        broken = _broken_two_sort(2)
+        out = verify_two_sort_circuit(broken, 2, backend=NativeBackend())
+        ref = verify_two_sort_circuit(broken, 2, backend="bigint")
+        assert not out.ok and out.failures == ref.failures
+
+    def test_one_time_stderr_notice(self, no_native, capsys):
+        first = NativeBackend()
+        first.zeros(8)  # forces resolution
+        err = capsys.readouterr().err
+        assert "native plane kernel unavailable" in err
+        assert "falling back to bigint planes" in err
+        second = NativeBackend()
+        second.zeros(8)
+        assert capsys.readouterr().err == ""  # emitted once per process
+
+    def test_forced_fallback_sharded_sweep(self, no_native):
+        original = get_backend("native")
+        try:
+            register_backend("native", NativeBackend())
+            circuit = build_two_sort(4)
+            out = verify_two_sort_sharded(circuit, 4, jobs=1, backend="native")
+            ref = verify_two_sort_sharded(circuit, 4, jobs=1, backend="bigint")
+            assert out.ok and out.to_json() == ref.to_json()
+        finally:
+            register_backend("native", original)
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +330,116 @@ class TestPlaneOps:
         assert not hasattr(clone, "_compiled_cache")
         out = verify_two_sort_circuit(clone, 2, backend=backend)
         assert out.ok and out.checked == 49
+
+
+# ----------------------------------------------------------------------
+# Structured packing + fused select-diff, per backend
+# ----------------------------------------------------------------------
+#: Tail-mask edge widths: single lane, one bit short of a word, exactly
+#: one word, one bit into the second word, and a multi-word interior.
+EDGE_LANES = [1, 63, 64, 65, 130]
+
+
+class TestStructuredPacking:
+    """from_pattern / expand_bits / from_prefix_runs must agree with the
+    bigint reference bit-for-bit at every word boundary (the native
+    backend builds these planes in C)."""
+
+    @pytest.mark.parametrize("lanes", EDGE_LANES)
+    def test_from_pattern(self, lanes, backend):
+        ref = BigIntBackend()
+        rng = random.Random(lanes)
+        for period in (1, 2, 7, 63, 64, 65):
+            value = rng.getrandbits(period)
+            want = ref.to_bytes(ref.from_pattern(value, period, lanes), lanes)
+            got = backend.from_pattern(value, period, lanes)
+            assert backend.to_bytes(got, lanes) == want, (value, period)
+
+    @pytest.mark.parametrize("lanes", EDGE_LANES)
+    def test_expand_bits(self, lanes, backend):
+        ref = BigIntBackend()
+        rng = random.Random(lanes)
+        for run in (1, 3, 64, 65):
+            bits = rng.getrandbits(-(-lanes // run))
+            want = ref.to_bytes(ref.expand_bits(bits, run, lanes), lanes)
+            got = backend.expand_bits(bits, run, lanes)
+            assert backend.to_bytes(got, lanes) == want, run
+
+    @pytest.mark.parametrize("lanes", EDGE_LANES)
+    def test_from_prefix_runs(self, lanes, backend):
+        ref = BigIntBackend()
+        for first, period in [(1, 1), (1, 2), (3, 7), (63, 64), (64, 65), (65, 66)]:
+            want = ref.to_bytes(ref.from_prefix_runs(first, period, lanes), lanes)
+            got = backend.from_prefix_runs(first, period, lanes)
+            assert backend.to_bytes(got, lanes) == want, (first, period)
+
+
+def _random_select_diff_case(rng, n_inputs=4, n_ops=15, n_cmp=3):
+    """A random SSA program + input/cmp/sel marshalling for the fused
+    select-diff entry point (same shape the verifier produces)."""
+    from repro.backends.base import OP_AND, OP_BUF, OP_INV, OP_OR, OP_XOR
+
+    ops = []
+    written = n_inputs
+    for _ in range(n_ops):
+        op = rng.choice([OP_AND, OP_OR, OP_INV, OP_XOR, OP_BUF])
+        a = rng.randrange(written)
+        b = rng.randrange(written) if op not in (OP_INV, OP_BUF) else 0
+        ops.append((op, written, a, b))
+        written += 1
+    cmp = [
+        (
+            rng.randrange(n_inputs, written),
+            rng.randrange(n_inputs),
+            rng.randrange(n_inputs),
+        )
+        for _ in range(n_cmp)
+    ]
+    # One cmp slot that no op ever writes and no input provides: it must
+    # read as all-zero planes (the native marshal zero-fills it).
+    cmp.append((written, 0, 1))
+    return ops, written + 1, cmp
+
+
+class TestSelectDiffContract:
+    """run_ops_select_diff: every backend must match the bigint
+    reference semantics bit-for-bit, including the tail-mask edges
+    (the native kernel complements sel in-register, so ~sel's tail
+    bits must never leak into the diff)."""
+
+    @pytest.mark.parametrize("lanes", EDGE_LANES)
+    def test_matches_bigint_reference(self, lanes, backend):
+        ref = BigIntBackend()
+        rng = random.Random(20180000 + lanes)
+        for trial in range(5):
+            ops, n_slots, cmp = _random_select_diff_case(rng)
+            in_vals = [
+                (slot, rng.getrandbits(lanes), rng.getrandbits(lanes))
+                for slot in range(4)
+            ]
+            sel_int = rng.getrandbits(lanes)
+            nsel_int = ((1 << lanes) - 1) ^ sel_int
+
+            def run(be):
+                inputs = [
+                    (s, be.from_int(v0, lanes), be.from_int(v1, lanes))
+                    for s, v0, v1 in in_vals
+                ]
+                diff, count = be.run_ops_select_diff(
+                    ops,
+                    n_slots,
+                    inputs,
+                    cmp,
+                    be.from_int(sel_int, lanes),
+                    be.from_int(nsel_int, lanes),
+                    lanes,
+                )
+                return be.to_int(diff, lanes), count
+
+            want = run(ref)
+            got = run(backend)
+            assert got == want, (trial, lanes)
+            assert got[1] == bin(want[0]).count("1")
 
 
 # ----------------------------------------------------------------------
@@ -397,16 +613,24 @@ class TestVerifyBackends:
         assert out.failures == ref.failures
 
     @pytest.mark.parametrize("jobs", [1, 2])
-    def test_sharded_identical_across_backends(self, jobs):
+    @pytest.mark.parametrize("name", ["array", "native", "auto"])
+    def test_sharded_identical_across_backends(self, jobs, name):
+        """Sharded reports byte-identical to bigint for every registered
+        backend and the auto alias (whatever it resolves to here)."""
         circuit = build_two_sort(5)
         ref = verify_two_sort_sharded(circuit, 5, jobs=jobs, backend="bigint")
-        out = verify_two_sort_sharded(circuit, 5, jobs=jobs, backend="array")
-        assert (out.checked, out.failure_count, out.failures) == (
-            ref.checked,
-            ref.failure_count,
-            ref.failures,
-        )
+        out = verify_two_sort_sharded(circuit, 5, jobs=jobs, backend=name)
+        assert out.to_json() == ref.to_json()
         assert out.checked == 3969
+
+    def test_sharded_failure_reports_identical_native(self):
+        """Mismatch extraction through the fused kernel select-diff must
+        reproduce bigint's failure tuples byte-for-byte."""
+        broken = _broken_two_sort(3)
+        ref = verify_two_sort_sharded(broken, 3, jobs=2, backend="bigint")
+        out = verify_two_sort_sharded(broken, 3, jobs=2, backend="native")
+        assert not out.ok
+        assert out.to_json() == ref.to_json()
 
     def test_process_pool_forwards_backend_name(self):
         """--backend array across a real pool: workers compile on the
@@ -481,11 +705,35 @@ class TestDefaultShardSize:
             got = _default_pair_shard_size(width, jobs, "array")
             assert got == want, (width, jobs, got, want)
 
+    def test_pinned_sizes_native(self):
+        if not get_backend("native").built:
+            pytest.skip("native kernel not built: proxy sizes as bigint")
+        # The native budget (1<<18 lanes) runs the whole B=8 pair domain
+        # as one shard when serial; B>=10 spends it on whole g-rows.
+        expected = {
+            (5, 1): 1024,
+            (8, 1): 65344,   # ceil(S*S/4) word-aligned: one real shard
+            (8, 4): 16384,
+            (10, 1): 262016,  # 128 whole g-rows of S=2047
+            (12, 1): 262144,  # 32 rows of 8191, word-aligned up
+            (13, 1): 262144,  # 16 rows of 16383, word-aligned up
+        }
+        for (width, jobs), want in expected.items():
+            got = _default_pair_shard_size(width, jobs, "native")
+            assert got == want, (width, jobs, got, want)
+
     def test_word_alignment(self):
+        # The native proxy sizes with its resolved representation's word
+        # width: 64-bit lane words when built, bigint bytes on fallback.
+        native_word = 64 if get_backend("native").built else 8
         for width in range(4, 14):
             for jobs in (1, 2, 8):
                 assert _default_pair_shard_size(width, jobs, "array") % 64 == 0
                 assert _default_pair_shard_size(width, jobs, "bigint") % 8 == 0
+                assert (
+                    _default_pair_shard_size(width, jobs, "native")
+                    % native_word == 0
+                )
 
     def test_whole_rows_at_wide_widths(self):
         for width in (10, 11, 12, 13):
@@ -563,9 +811,11 @@ def layered_networks(max_channels=5, max_comparators=8):
     ).map(build)
 
 
-_PROPERTY_BACKENDS = ["bigint", ArrayBackend(use_numpy=False)] + (
-    [ArrayBackend(use_numpy=True)] if _numpy_available() else []
-)
+_PROPERTY_BACKENDS = [
+    "bigint",
+    ArrayBackend(use_numpy=False),
+    get_backend("native"),
+] + ([ArrayBackend(use_numpy=True)] if _numpy_available() else [])
 
 
 @settings(max_examples=30, deadline=None)

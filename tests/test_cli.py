@@ -96,8 +96,49 @@ class TestCli:
         assert len(set(outputs)) == 1
 
     def test_verify_rejects_unknown_backend(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["verify", "--width", "4", "--backend", "gpu"])
+        """Unknown backends exit 2 with the registered names listed
+        (argparse choices= would hide names registered at runtime)."""
+        assert main(["verify", "--width", "4", "--backend", "gpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown plane backend 'gpu'" in err
+        for name in ("array", "auto", "bigint", "native"):
+            assert name in err
+
+    def test_sort_rejects_unknown_backend(self, capsys):
+        assert main(
+            ["sort", "01", "00", "--engine", "compiled", "--backend", "gpu"]
+        ) == 2
+        assert "unknown plane backend 'gpu'" in capsys.readouterr().err
+
+    def test_verify_backend_native_and_auto_match_bigint(self, capsys):
+        """--backend native and the auto default resolve to *some*
+        registered backend and produce the bigint report verbatim
+        (on compiler-less hosts native falls back; output is identical
+        either way)."""
+        outputs = []
+        for backend in ("bigint", "native", "auto"):
+            assert main(
+                ["verify", "--width", "4", "--backend", backend]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert "961 cases checked: OK" in outputs[0]
+        assert len(set(outputs)) == 1
+
+    def test_backends_command_lists_registry(self, capsys):
+        import json as jsonlib
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("array", "bigint", "native", "auto"):
+            assert name in out
+        assert "(default)" in out
+
+        assert main(["backends", "--json"]) == 0
+        data = jsonlib.loads(capsys.readouterr().out)
+        names = {row["name"] for row in data["backends"]}
+        assert {"array", "bigint", "native"} <= names
+        assert data["auto"] in names
+        assert data["default"] == "bigint"
 
     def test_verify_executor_flag_reaches_registry(self, capsys):
         """--executor finally exposes the registry: serial stays serial
